@@ -1,0 +1,177 @@
+// Command vada is the Vadalog command-line interface: it checks and runs
+// Vadalog programs end to end (storage to storage via @bind CSV record
+// managers, or printing outputs to stdout).
+//
+// Usage:
+//
+//	vada check program.vada           static wardedness analysis
+//	vada run [flags] program.vada     run the reasoning task
+//
+// Run flags:
+//
+//	-engine pipeline|chase     execution engine (default pipeline)
+//	-policy full|nosummary|trivial|restricted|skolem
+//	-max N                     derivation budget
+//	-facts pred=file.csv       extra CSV input (repeatable)
+//	-print pred                print a predicate's facts (repeatable;
+//	                           default: all @output predicates)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/vadalog"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "check":
+		cmdCheck(os.Args[2:])
+	case "run":
+		cmdRun(os.Args[2:])
+	case "plan":
+		cmdPlan(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: vada check <program> | vada plan <program> | vada run [flags] <program>")
+	os.Exit(2)
+}
+
+func cmdPlan(args []string) {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	prog := loadProgram(fs.Arg(0))
+	plan, err := vadalog.PlanString(prog)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(plan)
+}
+
+func loadProgram(path string) *vadalog.Program {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := vadalog.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	return prog
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vada:", err)
+	os.Exit(1)
+}
+
+func cmdCheck(args []string) {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	prog := loadProgram(fs.Arg(0))
+	rep := vadalog.Check(prog)
+	fmt.Print(rep)
+	if !rep.Warded {
+		os.Exit(1)
+	}
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	engine := fs.String("engine", "pipeline", "pipeline|chase")
+	policy := fs.String("policy", "full", "full|nosummary|trivial|restricted|skolem")
+	maxDer := fs.Int("max", 0, "derivation budget (0 = default)")
+	var extraFacts, printPreds multiFlag
+	fs.Var(&extraFacts, "facts", "pred=file.csv extra input (repeatable)")
+	fs.Var(&printPreds, "print", "predicate to print (repeatable)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	prog := loadProgram(fs.Arg(0))
+
+	opts := &vadalog.Options{MaxDerivations: *maxDer}
+	switch *engine {
+	case "pipeline":
+		opts.Engine = vadalog.EnginePipeline
+	case "chase":
+		opts.Engine = vadalog.EngineChase
+	default:
+		fatal(fmt.Errorf("unknown engine %q", *engine))
+	}
+	switch *policy {
+	case "full":
+		opts.Policy = vadalog.PolicyFull
+	case "nosummary":
+		opts.Policy = vadalog.PolicyNoSummary
+	case "trivial":
+		opts.Policy = vadalog.PolicyTrivialIso
+	case "restricted":
+		opts.Policy = vadalog.PolicyRestricted
+	case "skolem":
+		opts.Policy = vadalog.PolicySkolem
+	default:
+		fatal(fmt.Errorf("unknown policy %q", *policy))
+	}
+
+	sess, err := vadalog.NewSession(prog, opts)
+	if err != nil {
+		fatal(err)
+	}
+	for _, spec := range extraFacts {
+		pred, file, ok := strings.Cut(spec, "=")
+		if !ok {
+			fatal(fmt.Errorf("bad -facts %q (want pred=file.csv)", spec))
+		}
+		facts, err := vadalog.ReadCSV(pred, file)
+		if err != nil {
+			fatal(err)
+		}
+		sess.Load(facts...)
+	}
+	if err := sess.Run(); err != nil {
+		fatal(err)
+	}
+
+	preds := []string(printPreds)
+	if len(preds) == 0 {
+		for p := range prog.Outputs {
+			preds = append(preds, p)
+		}
+	}
+	for _, pred := range preds {
+		for _, f := range sess.Output(pred) {
+			fmt.Println(f)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "vada: %d facts derived\n", sess.Derivations())
+	if st, ok := sess.StrategyStats(); ok {
+		fmt.Fprintf(os.Stderr, "vada: strategy: %d checks, %d iso, %d stop-cut, %d patterns\n",
+			st.Checked, st.IsoChecks, st.BeyondStop, st.Patterns)
+	}
+}

@@ -1,0 +1,61 @@
+// Command vadabench regenerates the paper's evaluation tables (Sec. 6):
+// one table per figure, printed in aligned text. The -scale flag shrinks
+// the paper's instance sizes (1.0 = paper scale; the default 0.02 runs
+// the whole suite in minutes on a laptop while preserving the shapes).
+//
+// Usage:
+//
+//	vadabench [-scale 0.02] [-only Fig5a,Fig7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.02, "fraction of the paper's instance sizes")
+	only := flag.String("only", "", "comma-separated figure IDs (default: all)")
+	flag.Parse()
+
+	type gen struct {
+		id string
+		fn func(float64) (*experiments.Table, error)
+	}
+	gens := []gen{
+		{"Fig6", func(float64) (*experiments.Table, error) { return experiments.Figure6() }},
+		{"Fig5a", experiments.Figure5a},
+		{"Fig5b", experiments.Figure5b},
+		{"Fig5c", experiments.Figure5c},
+		{"Fig5d", experiments.Figure5d},
+		{"Fig5e", experiments.Figure5e},
+		{"Fig5f", experiments.Figure5f},
+		{"Fig5g", experiments.Figure5g},
+		{"Fig5h", experiments.Figure5h},
+		{"Fig5i", experiments.Figure5i},
+		{"Fig7", experiments.Figure7},
+		{"Fig8", experiments.Figure8},
+		{"Ablations", experiments.Ablations},
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	for _, g := range gens {
+		if len(want) > 0 && !want[g.id] {
+			continue
+		}
+		tb, err := g.fn(*scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vadabench: %s: %v\n", g.id, err)
+			os.Exit(1)
+		}
+		fmt.Println(tb)
+	}
+}

@@ -1,0 +1,58 @@
+// Command csvpipeline demonstrates the record managers of paper Sec. 4:
+// a program whose inputs and outputs are @bind'ed to CSV files, run end
+// to end (storage to storage) exactly like the paper's test harness.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/vadalog"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "vadalog-csv")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	ownCSV := filepath.Join(dir, "own.csv")
+	controlCSV := filepath.Join(dir, "control.csv")
+	if err := os.WriteFile(ownCSV, []byte(
+		"acme,subco,0.7\n"+
+			"acme,other,0.2\n"+
+			"subco,deepco,0.6\n"+
+			"other,deepco,0.3\n"), 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	prog, err := vadalog.Parse(fmt.Sprintf(`
+		own(X,Y,W), W > 0.5 -> control(X,Y).
+		control(X,Y), own(Y,Z,W), V = msum(W, <Y>), V > 0.5 -> control(X,Z).
+		@input("own").
+		@output("control").
+		@bind("own","csv",%q).
+		@bind("control","csv",%q).
+		@post("control","orderBy",1).
+	`, ownCSV, controlCSV))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sess, err := vadalog.NewSession(prog, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	out, err := os.ReadFile(controlCSV)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("control.csv:\n%s", out)
+}

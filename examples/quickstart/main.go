@@ -1,0 +1,44 @@
+// Command quickstart is the minimal end-to-end example: parse a warded
+// program with recursion and existential quantification, load facts, run
+// the reasoner, and print the answers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/vadalog"
+)
+
+func main() {
+	prog, err := vadalog.Parse(`
+		% Every company has some key person (existential quantification),
+		% and key persons propagate along control (recursion).
+		company(X) -> keyPerson(P, X).
+		control(X,Y), keyPerson(P,X) -> keyPerson(P,Y).
+		@output("keyPerson").
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(vadalog.Check(prog)) // static wardedness report
+
+	sess, err := vadalog.NewSession(prog, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess.Load(
+		vadalog.MakeFact("company", vadalog.Str("acme")),
+		vadalog.MakeFact("company", vadalog.Str("subco")),
+		vadalog.MakeFact("control", vadalog.Str("acme"), vadalog.Str("subco")),
+		vadalog.MakeFact("keyPerson", vadalog.Str("ada"), vadalog.Str("acme")),
+	)
+	if err := sess.Run(); err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range sess.Output("keyPerson") {
+		fmt.Println(f)
+	}
+	fmt.Printf("%d facts derived in total\n", sess.Derivations())
+}

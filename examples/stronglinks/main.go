@@ -1,0 +1,57 @@
+// Command stronglinks runs the StrongLink scenario of paper Sec. 6.3
+// (Example 13): companies sharing persons of significant control —
+// including invented ones — are strongly linked. The program mixes
+// existential quantification, recursion, a harmful join and monotonic
+// counting; the run prints the termination-strategy statistics to show
+// the guide structures at work.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/gen/dbpedia"
+	"repro/vadalog"
+)
+
+func main() {
+	companies := flag.Int("companies", 1000, "number of companies")
+	n := flag.Int("n", 1, "minimum shared PSCs for a strong link")
+	flag.Parse()
+
+	data := dbpedia.Generate(dbpedia.Config{
+		Companies: *companies, Persons: *companies * 4,
+		KeyPersonRate: 1.0, ControlRate: 0.4, Seed: 13,
+	})
+
+	prog, err := vadalog.Parse(dbpedia.StrongLinksProgram(*n))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := vadalog.Check(prog)
+	fmt.Printf("program: %d harmful joins, warded: %v\n", rep.Stats.HarmfulJoins, rep.Warded)
+
+	sess, err := vadalog.NewSession(prog, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess.Load(data.All()...)
+	start := time.Now()
+	if err := sess.Run(); err != nil {
+		log.Fatal(err)
+	}
+	links := sess.Output("strongLink")
+	fmt.Printf("strong links (N=%d): %d in %.2fs\n", *n, len(links), time.Since(start).Seconds())
+	if st, ok := sess.StrategyStats(); ok {
+		fmt.Printf("termination strategy: %d checks, %d iso checks, %d cut by stop-provenances, %d patterns learnt\n",
+			st.Checked, st.IsoChecks, st.BeyondStop, st.Patterns)
+	}
+	for i, f := range links {
+		if i >= 5 {
+			break
+		}
+		fmt.Println(f)
+	}
+}

@@ -1,0 +1,623 @@
+// Package ast defines the abstract syntax of Vadalog programs: atoms,
+// existential rules, conditions, expressions, aggregations, constraints,
+// equality-generating dependencies and annotations, plus runtime facts.
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/term"
+)
+
+// Arg is one argument position of an atom in a rule: either a variable or
+// a constant. The special variable "*" (Dom(*)) and the anonymous variable
+// "_" are represented as variables with those names.
+type Arg struct {
+	IsVar bool
+	Var   string
+	Const term.Value
+}
+
+// V returns a variable argument.
+func V(name string) Arg { return Arg{IsVar: true, Var: name} }
+
+// C returns a constant argument.
+func C(v term.Value) Arg { return Arg{Const: v} }
+
+// String renders the argument in surface syntax.
+func (a Arg) String() string {
+	if a.IsVar {
+		return a.Var
+	}
+	return a.Const.String()
+}
+
+// Atom is a predicate applied to arguments, possibly negated (stratified
+// negation in rule bodies only).
+type Atom struct {
+	Pred    string
+	Args    []Arg
+	Negated bool
+}
+
+// NewAtom builds a positive atom.
+func NewAtom(pred string, args ...Arg) Atom { return Atom{Pred: pred, Args: args} }
+
+// Arity returns the number of argument positions.
+func (a Atom) Arity() int { return len(a.Args) }
+
+// Vars appends the distinct variable names occurring in a to dst in order
+// of first occurrence and returns the extended slice.
+func (a Atom) Vars(dst []string) []string {
+	for _, arg := range a.Args {
+		if arg.IsVar && arg.Var != "_" && !containsStr(dst, arg.Var) {
+			dst = append(dst, arg.Var)
+		}
+	}
+	return dst
+}
+
+// String renders the atom in surface syntax.
+func (a Atom) String() string {
+	var sb strings.Builder
+	if a.Negated {
+		sb.WriteString("not ")
+	}
+	sb.WriteString(a.Pred)
+	sb.WriteByte('(')
+	for i, arg := range a.Args {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(arg.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// CmpOp is a comparison operator in a condition.
+type CmpOp int
+
+// Comparison operators.
+const (
+	CmpEq CmpOp = iota
+	CmpNeq
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+// String renders the operator in surface syntax.
+func (op CmpOp) String() string {
+	switch op {
+	case CmpEq:
+		return "=="
+	case CmpNeq:
+		return "!="
+	case CmpLt:
+		return "<"
+	case CmpLe:
+		return "<="
+	case CmpGt:
+		return ">"
+	case CmpGe:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// Condition is a comparison between two expressions, filtering bindings.
+type Condition struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// String renders the condition in surface syntax.
+func (c Condition) String() string {
+	return c.L.String() + " " + c.Op.String() + " " + c.R.String()
+}
+
+// Assignment binds a fresh head variable to the value of an expression
+// evaluated under the body bindings (paper Sec. 5, "expressions as the LHS
+// of an assignment").
+type Assignment struct {
+	Var  string
+	Expr Expr
+}
+
+// String renders the assignment in surface syntax.
+func (a Assignment) String() string { return a.Var + " = " + a.Expr.String() }
+
+// AggregateSpec describes a monotonic aggregation z = maggr(x, <c1,...>)
+// with optional contributor variables (windowing) per paper Sec. 5.
+// Group-by arguments are implicitly the head variables other than Result.
+type AggregateSpec struct {
+	Result       string // z, the monotonic aggregate variable
+	Func         string // msum, mprod, mmin, mmax, mcount, munion
+	Arg          Expr   // x, the aggregated expression
+	Contributors []string
+}
+
+// String renders the aggregation in surface syntax.
+func (a AggregateSpec) String() string {
+	var sb strings.Builder
+	sb.WriteString(a.Result)
+	sb.WriteString(" = ")
+	sb.WriteString(a.Func)
+	sb.WriteByte('(')
+	sb.WriteString(a.Arg.String())
+	if len(a.Contributors) > 0 {
+		sb.WriteString(",<")
+		sb.WriteString(strings.Join(a.Contributors, ","))
+		sb.WriteByte('>')
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// EGDSpec is an equality-generating dependency head: body -> X = Y.
+type EGDSpec struct {
+	Left, Right string
+}
+
+// Rule is one Vadalog rule. Exactly one of the following holds:
+//   - len(Heads) > 0: an existential rule (tgd);
+//   - IsConstraint: a negative constraint body -> ⊥;
+//   - EGD != nil: an equality-generating dependency.
+//
+// Head variables that do not occur in the body, in an assignment or as an
+// aggregate result are existentially quantified.
+type Rule struct {
+	ID           int
+	Heads        []Atom
+	Body         []Atom
+	Conds        []Condition
+	Assignments  []Assignment
+	Aggregate    *AggregateSpec
+	IsConstraint bool
+	EGD          *EGDSpec
+	// UsesDom marks rules whose body contains the dom(*) guard restricting
+	// all body variables to active-domain constants.
+	UsesDom bool
+	// DomVars lists variables restricted individually by dom(V) guards
+	// (the single-variable grounding used by harmful-join elimination).
+	DomVars []string
+	// Skolem optionally overrides the rule's Skolem base name; rewriting
+	// passes set it so that split or composed rules mint the same labelled
+	// nulls as the original rule (see SkolemBase).
+	Skolem string
+}
+
+// SkolemBase returns the base name used to derive the deterministic Skolem
+// functions instantiating this rule's existential variables.
+func (r *Rule) SkolemBase() string {
+	if r.Skolem != "" {
+		return r.Skolem
+	}
+	return fmt.Sprintf("r%d", r.ID)
+}
+
+// BodyVars returns the distinct variable names of the positive body in
+// order of first occurrence.
+func (r *Rule) BodyVars() []string {
+	var vs []string
+	for _, a := range r.Body {
+		if a.Negated {
+			continue
+		}
+		vs = a.Vars(vs)
+	}
+	return vs
+}
+
+// HeadVars returns the distinct variable names of all head atoms.
+func (r *Rule) HeadVars() []string {
+	var vs []string
+	for _, a := range r.Heads {
+		vs = a.Vars(vs)
+	}
+	return vs
+}
+
+// BoundVars returns the variables bound by the body, assignments and
+// aggregation, i.e. every head variable that is NOT existential.
+func (r *Rule) BoundVars() map[string]bool {
+	bound := make(map[string]bool)
+	for _, v := range r.BodyVars() {
+		bound[v] = true
+	}
+	for _, as := range r.Assignments {
+		bound[as.Var] = true
+	}
+	if r.Aggregate != nil {
+		bound[r.Aggregate.Result] = true
+	}
+	return bound
+}
+
+// Existentials returns the head variables that are existentially
+// quantified, in order of first occurrence in the head.
+func (r *Rule) Existentials() []string {
+	bound := r.BoundVars()
+	var ex []string
+	for _, v := range r.HeadVars() {
+		if !bound[v] && !containsStr(ex, v) {
+			ex = append(ex, v)
+		}
+	}
+	return ex
+}
+
+// IsLinear reports whether the rule has at most one positive body atom
+// (dom(*) guards do not count).
+func (r *Rule) IsLinear() bool {
+	n := 0
+	for _, a := range r.Body {
+		if !a.Negated && a.Pred != DomPred {
+			n++
+		}
+	}
+	return n <= 1
+}
+
+// IsFact reports whether the rule has an empty body and a single ground
+// head, i.e. is an inline fact.
+func (r *Rule) IsFact() bool {
+	if len(r.Body) != 0 || len(r.Heads) != 1 || r.IsConstraint || r.EGD != nil {
+		return false
+	}
+	for _, a := range r.Heads[0].Args {
+		if a.IsVar {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the rule in surface syntax.
+func (r *Rule) String() string {
+	var parts []string
+	if r.UsesDom {
+		parts = append(parts, DomPred+"(*)")
+	}
+	for _, v := range r.DomVars {
+		parts = append(parts, DomPred+"("+v+")")
+	}
+	for _, a := range r.Body {
+		parts = append(parts, a.String())
+	}
+	for _, c := range r.Conds {
+		parts = append(parts, c.String())
+	}
+	for _, as := range r.Assignments {
+		parts = append(parts, as.String())
+	}
+	if r.Aggregate != nil {
+		parts = append(parts, r.Aggregate.String())
+	}
+	body := strings.Join(parts, ", ")
+	var head string
+	switch {
+	case r.IsConstraint:
+		head = "#fail"
+	case r.EGD != nil:
+		head = r.EGD.Left + " = " + r.EGD.Right
+	default:
+		var hs []string
+		for _, h := range r.Heads {
+			hs = append(hs, h.String())
+		}
+		head = strings.Join(hs, ", ")
+	}
+	if body == "" {
+		return head + "."
+	}
+	return body + " -> " + head + "."
+}
+
+// Clone returns a deep copy of the rule.
+func (r *Rule) Clone() *Rule {
+	c := *r
+	c.Heads = cloneAtoms(r.Heads)
+	c.Body = cloneAtoms(r.Body)
+	c.Conds = append([]Condition(nil), r.Conds...)
+	c.Assignments = append([]Assignment(nil), r.Assignments...)
+	c.DomVars = append([]string(nil), r.DomVars...)
+	if r.Aggregate != nil {
+		ag := *r.Aggregate
+		ag.Contributors = append([]string(nil), r.Aggregate.Contributors...)
+		c.Aggregate = &ag
+	}
+	if r.EGD != nil {
+		egd := *r.EGD
+		c.EGD = &egd
+	}
+	return &c
+}
+
+func cloneAtoms(as []Atom) []Atom {
+	out := make([]Atom, len(as))
+	for i, a := range as {
+		out[i] = a
+		out[i].Args = append([]Arg(nil), a.Args...)
+	}
+	return out
+}
+
+// DomPred is the reserved predicate name of the active-domain guard
+// dom(*) (paper Sec. 2, "Modeling Features").
+const DomPred = "dom"
+
+// Fact is a ground atom: a predicate over constants and labelled nulls.
+type Fact struct {
+	Pred string
+	Args []term.Value
+}
+
+// NewFact builds a fact.
+func NewFact(pred string, args ...term.Value) Fact { return Fact{Pred: pred, Args: args} }
+
+// IsGround reports whether the fact contains no labelled nulls.
+func (f Fact) IsGround() bool {
+	for _, a := range f.Args {
+		if a.IsNull() {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string key identifying the fact exactly
+// (constants and null identities included).
+func (f Fact) Key() string {
+	var sb strings.Builder
+	sb.WriteString(f.Pred)
+	for _, a := range f.Args {
+		sb.WriteByte('\x00')
+		sb.WriteString(a.String())
+	}
+	return sb.String()
+}
+
+// PatternKey returns the canonical pattern of the fact per the paper's
+// pattern-isomorphism: constants are numbered by first occurrence and so
+// are nulls, e.g. P(1,2,x,y) and P(3,4,z,y) share pattern P(c1,c2,n1,n2).
+func (f Fact) PatternKey() string {
+	var sb strings.Builder
+	sb.WriteString(f.Pred)
+	consts := make(map[term.Value]int)
+	nulls := make(map[int64]int)
+	for _, a := range f.Args {
+		sb.WriteByte('\x00')
+		if a.IsNull() {
+			id, ok := nulls[a.NullID()]
+			if !ok {
+				id = len(nulls) + 1
+				nulls[a.NullID()] = id
+			}
+			sb.WriteByte('n')
+			sb.WriteByte(byte('0' + id%10))
+			if id >= 10 {
+				fmt.Fprintf(&sb, "%d", id/10)
+			}
+		} else {
+			id, ok := consts[a]
+			if !ok {
+				id = len(consts) + 1
+				consts[a] = id
+			}
+			sb.WriteByte('c')
+			sb.WriteByte(byte('0' + id%10))
+			if id >= 10 {
+				fmt.Fprintf(&sb, "%d", id/10)
+			}
+		}
+	}
+	return sb.String()
+}
+
+// String renders the fact in surface syntax.
+func (f Fact) String() string {
+	var sb strings.Builder
+	sb.WriteString(f.Pred)
+	sb.WriteByte('(')
+	for i, a := range f.Args {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(a.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Isomorphic reports whether facts a and b are isomorphic per Sec. 3.1:
+// same predicate, equal constants in the same positions, and a bijection
+// between their labelled nulls.
+func Isomorphic(a, b Fact) bool {
+	if a.Pred != b.Pred || len(a.Args) != len(b.Args) {
+		return false
+	}
+	var fwd, bwd map[int64]int64
+	for i, x := range a.Args {
+		y := b.Args[i]
+		if x.IsNull() != y.IsNull() {
+			return false
+		}
+		if !x.IsNull() {
+			if x != y {
+				return false
+			}
+			continue
+		}
+		if fwd == nil {
+			fwd = make(map[int64]int64, 4)
+			bwd = make(map[int64]int64, 4)
+		}
+		xi, yi := x.NullID(), y.NullID()
+		if m, ok := fwd[xi]; ok {
+			if m != yi {
+				return false
+			}
+		} else {
+			fwd[xi] = yi
+		}
+		if m, ok := bwd[yi]; ok {
+			if m != xi {
+				return false
+			}
+		} else {
+			bwd[yi] = xi
+		}
+	}
+	return true
+}
+
+// IsoKey returns a canonical key identifying the fact up to isomorphism of
+// labelled nulls: constants stay as-is, nulls are numbered by first
+// occurrence. Two facts are isomorphic iff their IsoKeys are equal.
+func (f Fact) IsoKey() string {
+	var sb strings.Builder
+	sb.WriteString(f.Pred)
+	nulls := make(map[int64]int)
+	for _, a := range f.Args {
+		sb.WriteByte('\x00')
+		if a.IsNull() {
+			id, ok := nulls[a.NullID()]
+			if !ok {
+				id = len(nulls) + 1
+				nulls[a.NullID()] = id
+			}
+			fmt.Fprintf(&sb, "\x02%d", id)
+		} else {
+			sb.WriteString(a.String())
+		}
+	}
+	return sb.String()
+}
+
+// Binding is an @bind annotation attaching a predicate to an external
+// source or sink via a record manager.
+type Binding struct {
+	Pred   string
+	Driver string // e.g. "csv"
+	Target string // e.g. a file path
+}
+
+// PostDirective is an @post annotation: a post-processing step applied to
+// an output predicate (orderBy, certain, limit).
+type PostDirective struct {
+	Pred string
+	Kind string // "orderBy" | "certain" | "limit"
+	Arg  int    // column for orderBy (1-based), count for limit
+}
+
+// Mapping is an @mapping annotation harmonizing named external columns
+// with Vadalog's positional perspective.
+type Mapping struct {
+	Pred    string
+	Columns []string
+}
+
+// Program is a parsed Vadalog program: rules, inline facts and
+// annotations.
+type Program struct {
+	Rules    []*Rule
+	Facts    []Fact
+	Inputs   map[string]bool
+	Outputs  map[string]bool
+	Bindings []Binding
+	Posts    []PostDirective
+	Mappings []Mapping
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program {
+	return &Program{Inputs: make(map[string]bool), Outputs: make(map[string]bool)}
+}
+
+// AddRule appends r, assigning it the next rule ID.
+func (p *Program) AddRule(r *Rule) {
+	r.ID = len(p.Rules)
+	p.Rules = append(p.Rules, r)
+}
+
+// Predicates returns every predicate mentioned in rules or facts, with its
+// arity. It returns an error on inconsistent arities.
+func (p *Program) Predicates() (map[string]int, error) {
+	ar := make(map[string]int)
+	note := func(pred string, n int) error {
+		if pred == DomPred {
+			return nil
+		}
+		if old, ok := ar[pred]; ok && old != n {
+			return fmt.Errorf("ast: predicate %s used with arities %d and %d", pred, old, n)
+		}
+		ar[pred] = n
+		return nil
+	}
+	for _, r := range p.Rules {
+		for _, a := range r.Body {
+			if err := note(a.Pred, a.Arity()); err != nil {
+				return nil, err
+			}
+		}
+		for _, h := range r.Heads {
+			if err := note(h.Pred, h.Arity()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, f := range p.Facts {
+		if err := note(f.Pred, len(f.Args)); err != nil {
+			return nil, err
+		}
+	}
+	return ar, nil
+}
+
+// IDBPreds returns the set of predicates appearing in some rule head.
+func (p *Program) IDBPreds() map[string]bool {
+	idb := make(map[string]bool)
+	for _, r := range p.Rules {
+		for _, h := range r.Heads {
+			idb[h.Pred] = true
+		}
+	}
+	return idb
+}
+
+// String renders the whole program in surface syntax.
+func (p *Program) String() string {
+	var sb strings.Builder
+	for pred := range p.Inputs {
+		fmt.Fprintf(&sb, "@input(%q).\n", pred)
+	}
+	for pred := range p.Outputs {
+		fmt.Fprintf(&sb, "@output(%q).\n", pred)
+	}
+	for _, b := range p.Bindings {
+		fmt.Fprintf(&sb, "@bind(%q,%q,%q).\n", b.Pred, b.Driver, b.Target)
+	}
+	for _, f := range p.Facts {
+		sb.WriteString(f.String())
+		sb.WriteString(".\n")
+	}
+	for _, r := range p.Rules {
+		sb.WriteString(r.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func containsStr(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

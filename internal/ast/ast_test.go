@@ -1,0 +1,234 @@
+package ast
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/term"
+)
+
+func TestFactKeys(t *testing.T) {
+	f1 := NewFact("p", term.String("a"), term.Null(1))
+	f2 := NewFact("p", term.String("a"), term.Null(2))
+	f3 := NewFact("p", term.String("b"), term.Null(1))
+	if f1.Key() == f2.Key() {
+		t.Error("exact keys must distinguish null identities")
+	}
+	if f1.IsoKey() != f2.IsoKey() {
+		t.Error("iso keys must identify isomorphic facts")
+	}
+	if f1.IsoKey() == f3.IsoKey() {
+		t.Error("iso keys must distinguish constants")
+	}
+}
+
+// TestIsomorphicMatchesIsoKey is the property the strategy relies on:
+// Isomorphic(a,b) iff IsoKey(a) == IsoKey(b).
+func TestIsomorphicMatchesIsoKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	genFact := func() Fact {
+		n := 1 + rng.Intn(4)
+		args := make([]term.Value, n)
+		for i := range args {
+			if rng.Intn(2) == 0 {
+				args[i] = term.String(string(rune('a' + rng.Intn(3))))
+			} else {
+				args[i] = term.Null(int64(rng.Intn(3)))
+			}
+		}
+		return Fact{Pred: "p", Args: args}
+	}
+	for i := 0; i < 3000; i++ {
+		a, b := genFact(), genFact()
+		if len(a.Args) != len(b.Args) {
+			continue
+		}
+		if Isomorphic(a, b) != (a.IsoKey() == b.IsoKey()) {
+			t.Fatalf("iso mismatch: %v vs %v (iso=%v keys %q %q)",
+				a, b, Isomorphic(a, b), a.IsoKey(), b.IsoKey())
+		}
+	}
+}
+
+// TestIsomorphismIsEquivalence checks reflexivity, symmetry, transitivity.
+func TestIsomorphismIsEquivalence(t *testing.T) {
+	mk := func(ids ...int64) Fact {
+		args := make([]term.Value, len(ids))
+		for i, id := range ids {
+			if id < 0 {
+				args[i] = term.Int(-id)
+			} else {
+				args[i] = term.Null(id)
+			}
+		}
+		return Fact{Pred: "p", Args: args}
+	}
+	a := mk(1, 2, -5)
+	b := mk(7, 8, -5)
+	c := mk(3, 4, -5)
+	if !Isomorphic(a, a) {
+		t.Error("reflexive")
+	}
+	if Isomorphic(a, b) != Isomorphic(b, a) {
+		t.Error("symmetric")
+	}
+	if Isomorphic(a, b) && Isomorphic(b, c) && !Isomorphic(a, c) {
+		t.Error("transitive")
+	}
+	// Repeated nulls need a consistent bijection.
+	d := mk(1, 1, -5)
+	e := mk(2, 3, -5)
+	if Isomorphic(d, e) {
+		t.Error("p(n1,n1) is not isomorphic to p(n2,n3)")
+	}
+}
+
+func TestPatternKey(t *testing.T) {
+	f1 := NewFact("p", term.Int(1), term.Int(2), term.Null(3), term.Null(4))
+	f2 := NewFact("p", term.Int(3), term.Int(4), term.Null(9), term.Null(4))
+	f3 := NewFact("p", term.Int(5), term.Int(5), term.Null(1), term.Null(2))
+	if f1.PatternKey() != f2.PatternKey() {
+		t.Error("pattern-isomorphic facts must share a pattern (paper example)")
+	}
+	if f1.PatternKey() == f3.PatternKey() {
+		t.Error("repeated constants change the pattern (paper example)")
+	}
+}
+
+func TestRuleExistentialsAndVars(t *testing.T) {
+	r := &Rule{
+		Body:  []Atom{NewAtom("p", V("X"), V("Y"))},
+		Heads: []Atom{NewAtom("q", V("X"), V("Z"), V("W"))},
+	}
+	ex := r.Existentials()
+	if len(ex) != 2 || ex[0] != "Z" || ex[1] != "W" {
+		t.Fatalf("existentials: %v", ex)
+	}
+	r.Assignments = append(r.Assignments, Assignment{Var: "Z", Expr: VarExpr{Name: "X"}})
+	ex = r.Existentials()
+	if len(ex) != 1 || ex[0] != "W" {
+		t.Fatalf("assignment binds Z: %v", ex)
+	}
+}
+
+func TestRuleLinear(t *testing.T) {
+	r := &Rule{Body: []Atom{NewAtom("p", V("X"))}, Heads: []Atom{NewAtom("q", V("X"))}}
+	if !r.IsLinear() {
+		t.Error("single atom is linear")
+	}
+	r.Body = append(r.Body, Atom{Pred: DomPred, Args: []Arg{V("*")}})
+	if !r.IsLinear() {
+		t.Error("dom guard does not count")
+	}
+	r.Body = append(r.Body, NewAtom("r", V("X")))
+	if r.IsLinear() {
+		t.Error("two positive atoms is non-linear")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	r := &Rule{
+		Body:  []Atom{NewAtom("p", V("X"))},
+		Heads: []Atom{NewAtom("q", V("X"))},
+		Conds: []Condition{{Op: CmpGt, L: VarExpr{Name: "X"}, R: ConstExpr{Val: term.Int(1)}}},
+	}
+	c := r.Clone()
+	c.Body[0].Args[0] = C(term.Int(9))
+	if !r.Body[0].Args[0].IsVar {
+		t.Error("clone shares body args")
+	}
+}
+
+func TestProgramPredicates(t *testing.T) {
+	p := NewProgram()
+	p.AddRule(&Rule{Body: []Atom{NewAtom("p", V("X"))}, Heads: []Atom{NewAtom("q", V("X"), V("Y"))}})
+	preds, err := p.Predicates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if preds["p"] != 1 || preds["q"] != 2 {
+		t.Errorf("preds: %v", preds)
+	}
+	p.AddRule(&Rule{Body: []Atom{NewAtom("q", V("X"))}, Heads: []Atom{NewAtom("r", V("X"))}})
+	if _, err := p.Predicates(); err == nil {
+		t.Error("arity clash must error")
+	}
+}
+
+func TestEvalConditionNullSemantics(t *testing.T) {
+	env := map[string]term.Value{"N": term.Null(1), "M": term.Null(2), "X": term.Int(5)}
+	c := func(op CmpOp, l, r string) bool {
+		ok, err := EvalCondition(Condition{Op: op, L: VarExpr{Name: l}, R: VarExpr{Name: r}}, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ok
+	}
+	if !c(CmpEq, "N", "N") {
+		t.Error("null == itself")
+	}
+	if c(CmpEq, "N", "M") {
+		t.Error("distinct nulls are not equal")
+	}
+	if !c(CmpNeq, "N", "M") {
+		t.Error("distinct nulls are !=")
+	}
+	if c(CmpLt, "N", "X") || c(CmpGt, "N", "X") {
+		t.Error("ordering undefined on nulls")
+	}
+}
+
+func TestExprVars(t *testing.T) {
+	e := BinExpr{Op: "+", L: VarExpr{Name: "X"}, R: FuncExpr{Name: "abs", Args: []Expr{VarExpr{Name: "Y"}}}}
+	vs := e.Vars(nil)
+	if len(vs) != 2 {
+		t.Errorf("vars: %v", vs)
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	env := map[string]term.Value{"S": term.String("hello"), "X": term.Int(-3)}
+	cases := []struct {
+		expr Expr
+		want term.Value
+	}{
+		{FuncExpr{Name: "length", Args: []Expr{VarExpr{Name: "S"}}}, term.Int(5)},
+		{FuncExpr{Name: "upper", Args: []Expr{VarExpr{Name: "S"}}}, term.String("HELLO")},
+		{FuncExpr{Name: "startsWith", Args: []Expr{VarExpr{Name: "S"}, ConstExpr{Val: term.String("he")}}}, term.Bool(true)},
+		{FuncExpr{Name: "abs", Args: []Expr{VarExpr{Name: "X"}}}, term.Int(3)},
+		{FuncExpr{Name: "substring", Args: []Expr{VarExpr{Name: "S"}, ConstExpr{Val: term.Int(1)}, ConstExpr{Val: term.Int(3)}}}, term.String("el")},
+		{FuncExpr{Name: "toString", Args: []Expr{VarExpr{Name: "X"}}}, term.String("-3")},
+		{FuncExpr{Name: "min", Args: []Expr{VarExpr{Name: "X"}, ConstExpr{Val: term.Int(0)}}}, term.Int(-3)},
+	}
+	for _, c := range cases {
+		got, err := c.expr.Eval(env)
+		if err != nil {
+			t.Errorf("%s: %v", c.expr, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: got %v want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	env := map[string]term.Value{"X": term.Int(1), "Z": term.Int(0)}
+	_, err := BinExpr{Op: "/", L: VarExpr{Name: "X"}, R: VarExpr{Name: "Z"}}.Eval(env)
+	if err == nil {
+		t.Error("integer division by zero must error")
+	}
+}
+
+func TestIsoKeyQuick(t *testing.T) {
+	// Renaming nulls consistently preserves IsoKey.
+	f := func(a, b, c uint8) bool {
+		base := NewFact("p", term.Null(int64(a%4)+1), term.Null(int64(b%4)+1), term.Int(int64(c)))
+		shift := NewFact("p", term.Null(int64(a%4)+100), term.Null(int64(b%4)+100), term.Int(int64(c)))
+		return base.IsoKey() == shift.IsoKey()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

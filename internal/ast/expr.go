@@ -1,0 +1,354 @@
+package ast
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/term"
+)
+
+// Expr is an expression over rule variables (paper Sec. 5): a term is an
+// expression; a combination of expressions by typed operators is an
+// expression. Expressions appear in conditions and assignments.
+type Expr interface {
+	// Eval computes the expression under the variable bindings env.
+	Eval(env map[string]term.Value) (term.Value, error)
+	// Vars appends the variables the expression reads to dst.
+	Vars(dst []string) []string
+	// String renders the expression in surface syntax.
+	String() string
+}
+
+// ConstExpr is a literal constant.
+type ConstExpr struct{ Val term.Value }
+
+// Eval returns the constant.
+func (e ConstExpr) Eval(map[string]term.Value) (term.Value, error) { return e.Val, nil }
+
+// Vars returns dst unchanged.
+func (e ConstExpr) Vars(dst []string) []string { return dst }
+
+// String renders the constant.
+func (e ConstExpr) String() string { return e.Val.String() }
+
+// VarExpr reads a rule variable.
+type VarExpr struct{ Name string }
+
+// Eval looks the variable up in env.
+func (e VarExpr) Eval(env map[string]term.Value) (term.Value, error) {
+	v, ok := env[e.Name]
+	if !ok {
+		return term.Value{}, fmt.Errorf("ast: unbound variable %s in expression", e.Name)
+	}
+	return v, nil
+}
+
+// Vars appends the variable name if absent.
+func (e VarExpr) Vars(dst []string) []string {
+	if !containsStr(dst, e.Name) {
+		dst = append(dst, e.Name)
+	}
+	return dst
+}
+
+// String renders the variable name.
+func (e VarExpr) String() string { return e.Name }
+
+// BinExpr applies a binary operator: + - * / % for numerics, + as string
+// concatenation, && and || for booleans.
+type BinExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// Eval evaluates both sides and applies the operator with the numeric
+// widening rules of the paper's typed expressions.
+func (e BinExpr) Eval(env map[string]term.Value) (term.Value, error) {
+	l, err := e.L.Eval(env)
+	if err != nil {
+		return term.Value{}, err
+	}
+	r, err := e.R.Eval(env)
+	if err != nil {
+		return term.Value{}, err
+	}
+	switch e.Op {
+	case "&&", "||":
+		if l.Kind() != term.KindBool || r.Kind() != term.KindBool {
+			return term.Value{}, fmt.Errorf("ast: %s requires booleans, got %s and %s", e.Op, l.Kind(), r.Kind())
+		}
+		if e.Op == "&&" {
+			return term.Bool(l.BoolVal() && r.BoolVal()), nil
+		}
+		return term.Bool(l.BoolVal() || r.BoolVal()), nil
+	}
+	if l.Kind() == term.KindString || r.Kind() == term.KindString {
+		if e.Op != "+" {
+			return term.Value{}, fmt.Errorf("ast: operator %s not defined on strings", e.Op)
+		}
+		return term.String(valueToStr(l) + valueToStr(r)), nil
+	}
+	if !l.IsNumeric() || !r.IsNumeric() {
+		return term.Value{}, fmt.Errorf("ast: operator %s requires numerics, got %s and %s", e.Op, l.Kind(), r.Kind())
+	}
+	if l.Kind() == term.KindInt && r.Kind() == term.KindInt {
+		a, b := l.IntVal(), r.IntVal()
+		switch e.Op {
+		case "+":
+			return term.Int(a + b), nil
+		case "-":
+			return term.Int(a - b), nil
+		case "*":
+			return term.Int(a * b), nil
+		case "/":
+			if b == 0 {
+				return term.Value{}, fmt.Errorf("ast: integer division by zero")
+			}
+			return term.Int(a / b), nil
+		case "%":
+			if b == 0 {
+				return term.Value{}, fmt.Errorf("ast: integer modulo by zero")
+			}
+			return term.Int(a % b), nil
+		case "^":
+			return term.Float(math.Pow(float64(a), float64(b))), nil
+		}
+	}
+	a, b := l.FloatVal(), r.FloatVal()
+	switch e.Op {
+	case "+":
+		return term.Float(a + b), nil
+	case "-":
+		return term.Float(a - b), nil
+	case "*":
+		return term.Float(a * b), nil
+	case "/":
+		return term.Float(a / b), nil
+	case "^":
+		return term.Float(math.Pow(a, b)), nil
+	}
+	return term.Value{}, fmt.Errorf("ast: unknown operator %s", e.Op)
+}
+
+// Vars appends variables of both operands.
+func (e BinExpr) Vars(dst []string) []string { return e.R.Vars(e.L.Vars(dst)) }
+
+// String renders the expression parenthesized.
+func (e BinExpr) String() string {
+	return "(" + e.L.String() + " " + e.Op + " " + e.R.String() + ")"
+}
+
+// FuncExpr applies a built-in typed function (string, date, numeric and
+// conversion operators of Sec. 5) or a Skolem function (#name).
+type FuncExpr struct {
+	Name string
+	Args []Expr
+}
+
+// Eval evaluates the arguments and applies the builtin. Skolem functions
+// are not evaluated here; the engine intercepts them (they need the null
+// factory) — Eval reports an error if one reaches it.
+func (e FuncExpr) Eval(env map[string]term.Value) (term.Value, error) {
+	if strings.HasPrefix(e.Name, "#") {
+		return term.Value{}, fmt.Errorf("ast: skolem function %s must be evaluated by the engine", e.Name)
+	}
+	args := make([]term.Value, len(e.Args))
+	for i, a := range e.Args {
+		v, err := a.Eval(env)
+		if err != nil {
+			return term.Value{}, err
+		}
+		args[i] = v
+	}
+	return applyBuiltin(e.Name, args)
+}
+
+// Vars appends variables of every argument.
+func (e FuncExpr) Vars(dst []string) []string {
+	for _, a := range e.Args {
+		dst = a.Vars(dst)
+	}
+	return dst
+}
+
+// String renders the call.
+func (e FuncExpr) String() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	return e.Name + "(" + strings.Join(parts, ",") + ")"
+}
+
+// IsSkolem reports whether the call is a Skolem function (#name).
+func (e FuncExpr) IsSkolem() bool { return strings.HasPrefix(e.Name, "#") }
+
+func valueToStr(v term.Value) string {
+	if v.Kind() == term.KindString {
+		return v.Str()
+	}
+	return v.String()
+}
+
+func applyBuiltin(name string, args []term.Value) (term.Value, error) {
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("ast: %s expects %d arguments, got %d", name, n, len(args))
+		}
+		return nil
+	}
+	switch name {
+	case "startsWith":
+		if err := need(2); err != nil {
+			return term.Value{}, err
+		}
+		return term.Bool(strings.HasPrefix(args[0].Str(), args[1].Str())), nil
+	case "endsWith":
+		if err := need(2); err != nil {
+			return term.Value{}, err
+		}
+		return term.Bool(strings.HasSuffix(args[0].Str(), args[1].Str())), nil
+	case "contains":
+		if err := need(2); err != nil {
+			return term.Value{}, err
+		}
+		return term.Bool(strings.Contains(args[0].Str(), args[1].Str())), nil
+	case "indexOf":
+		if err := need(2); err != nil {
+			return term.Value{}, err
+		}
+		return term.Int(int64(strings.Index(args[0].Str(), args[1].Str()))), nil
+	case "substring":
+		if err := need(3); err != nil {
+			return term.Value{}, err
+		}
+		s := args[0].Str()
+		lo, hi := int(args[1].IntVal()), int(args[2].IntVal())
+		if lo < 0 || hi > len(s) || lo > hi {
+			return term.Value{}, fmt.Errorf("ast: substring bounds [%d,%d) out of range for %q", lo, hi, s)
+		}
+		return term.String(s[lo:hi]), nil
+	case "length":
+		if err := need(1); err != nil {
+			return term.Value{}, err
+		}
+		return term.Int(int64(len(args[0].Str()))), nil
+	case "upper":
+		if err := need(1); err != nil {
+			return term.Value{}, err
+		}
+		return term.String(strings.ToUpper(args[0].Str())), nil
+	case "lower":
+		if err := need(1); err != nil {
+			return term.Value{}, err
+		}
+		return term.String(strings.ToLower(args[0].Str())), nil
+	case "concat":
+		var sb strings.Builder
+		for _, a := range args {
+			sb.WriteString(valueToStr(a))
+		}
+		return term.String(sb.String()), nil
+	case "abs":
+		if err := need(1); err != nil {
+			return term.Value{}, err
+		}
+		if args[0].Kind() == term.KindInt {
+			v := args[0].IntVal()
+			if v < 0 {
+				v = -v
+			}
+			return term.Int(v), nil
+		}
+		return term.Float(math.Abs(args[0].FloatVal())), nil
+	case "min":
+		if err := need(2); err != nil {
+			return term.Value{}, err
+		}
+		if term.Compare(args[0], args[1]) <= 0 {
+			return args[0], nil
+		}
+		return args[1], nil
+	case "max":
+		if err := need(2); err != nil {
+			return term.Value{}, err
+		}
+		if term.Compare(args[0], args[1]) >= 0 {
+			return args[0], nil
+		}
+		return args[1], nil
+	case "toInt":
+		if err := need(1); err != nil {
+			return term.Value{}, err
+		}
+		switch args[0].Kind() {
+		case term.KindInt:
+			return args[0], nil
+		case term.KindFloat:
+			return term.Int(int64(args[0].FloatVal())), nil
+		case term.KindString:
+			v, err := term.ParseLiteral(args[0].Str())
+			if err != nil || v.Kind() != term.KindInt {
+				return term.Value{}, fmt.Errorf("ast: cannot convert %q to int", args[0].Str())
+			}
+			return v, nil
+		}
+		return term.Value{}, fmt.Errorf("ast: cannot convert %s to int", args[0].Kind())
+	case "toFloat":
+		if err := need(1); err != nil {
+			return term.Value{}, err
+		}
+		if args[0].IsNumeric() {
+			return term.Float(args[0].FloatVal()), nil
+		}
+		return term.Value{}, fmt.Errorf("ast: cannot convert %s to float", args[0].Kind())
+	case "toString":
+		if err := need(1); err != nil {
+			return term.Value{}, err
+		}
+		return term.String(valueToStr(args[0])), nil
+	}
+	return term.Value{}, fmt.Errorf("ast: unknown function %s", name)
+}
+
+// EvalCondition evaluates a condition under env. Comparisons between a
+// labelled null and anything else succeed only for == of the same null
+// and != of different values, mirroring the paper's treatment of nulls as
+// plain (distinct) symbols.
+func EvalCondition(c Condition, env map[string]term.Value) (bool, error) {
+	l, err := c.L.Eval(env)
+	if err != nil {
+		return false, err
+	}
+	r, err := c.R.Eval(env)
+	if err != nil {
+		return false, err
+	}
+	if l.IsNull() || r.IsNull() {
+		switch c.Op {
+		case CmpEq:
+			return l == r, nil
+		case CmpNeq:
+			return l != r, nil
+		default:
+			return false, nil // ordering undefined on labelled nulls
+		}
+	}
+	cmp := term.Compare(l, r)
+	switch c.Op {
+	case CmpEq:
+		return term.Equal(l, r), nil
+	case CmpNeq:
+		return !term.Equal(l, r), nil
+	case CmpLt:
+		return cmp < 0, nil
+	case CmpLe:
+		return cmp <= 0, nil
+	case CmpGt:
+		return cmp > 0, nil
+	case CmpGe:
+		return cmp >= 0, nil
+	}
+	return false, fmt.Errorf("ast: unknown comparison operator")
+}

@@ -1,0 +1,157 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+func analyzed(t *testing.T, src string) *analysis.Result {
+	t.Helper()
+	return analysis.Analyze(parser.MustParse(src))
+}
+
+func TestTrivialIsoGlobalCut(t *testing.T) {
+	res := analyzed(t, `p(X, N) -> p(X, M).`)
+	p := NewTrivialIso(res)
+	a := p.NewEDBFact(ast.NewFact("p", term.String("a"), term.String("seed")))
+	f1 := p.Derive(ast.NewFact("p", term.String("a"), term.Null(1)), 0, []*core.FactMeta{a})
+	if !p.CheckTermination(f1) {
+		t.Fatal("first null fact admitted")
+	}
+	// Isomorphic fact from a *different* derivation context is still cut —
+	// the global store does not distinguish trees.
+	f2 := p.Derive(ast.NewFact("p", term.String("a"), term.Null(9)), 0, []*core.FactMeta{a})
+	if p.CheckTermination(f2) {
+		t.Fatal("global isomorphism cut must reject")
+	}
+	if p.Checks != 2 || p.StoredFacts() < 2 {
+		t.Errorf("stats: checks=%d stored=%d", p.Checks, p.StoredFacts())
+	}
+}
+
+func TestRestrictedHomSubsumption(t *testing.T) {
+	res := analyzed(t, `c(X) -> p(X, N).`)
+	p := NewRestrictedHom(res)
+	root := p.NewEDBFact(ast.NewFact("c", term.String("a")))
+	f1 := p.Derive(ast.NewFact("p", term.String("a"), term.Null(1)), 0, []*core.FactMeta{root})
+	if !p.CheckTermination(f1) {
+		t.Fatal("first fact admitted")
+	}
+	// A fresh-null variant is homomorphically subsumed by f1.
+	f2 := p.Derive(ast.NewFact("p", term.String("a"), term.Null(2)), 0, []*core.FactMeta{root})
+	if p.CheckTermination(f2) {
+		t.Fatal("subsumed fact must be rejected")
+	}
+	// Different constant: admitted.
+	f3 := p.Derive(ast.NewFact("p", term.String("b"), term.Null(3)), 0, []*core.FactMeta{root})
+	if !p.CheckTermination(f3) {
+		t.Fatal("non-subsumed fact must pass")
+	}
+	// Ground facts always pass (engine handles exact duplicates).
+	g := p.Derive(ast.NewFact("p", term.String("a"), term.String("x")), 0, []*core.FactMeta{root})
+	if !p.CheckTermination(g) {
+		t.Fatal("ground facts pass")
+	}
+}
+
+func TestRestrictedHomNullToConstant(t *testing.T) {
+	res := analyzed(t, `c(X) -> p(X, N).`)
+	p := NewRestrictedHom(res)
+	root := p.NewEDBFact(ast.NewFact("c", term.String("a")))
+	// A stored fact with a CONSTANT where the candidate has a null also
+	// subsumes (h maps the null to the constant)... but only null-carrying
+	// facts live in the store; constants pass through. Store a null fact
+	// whose positions differ.
+	f1 := p.Derive(ast.NewFact("p", term.String("a"), term.Null(1)), 0, []*core.FactMeta{root})
+	p.CheckTermination(f1)
+	// Candidate with repeated nulls must map consistently.
+	f2 := p.Derive(ast.NewFact("p", term.Null(5), term.Null(5)), 0, []*core.FactMeta{root})
+	if !p.CheckTermination(f2) {
+		t.Fatal("p(n5,n5) is not subsumed by p(a,n1)")
+	}
+	f3 := p.Derive(ast.NewFact("p", term.Null(6), term.Null(6)), 0, []*core.FactMeta{root})
+	if p.CheckTermination(f3) {
+		t.Fatal("p(n6,n6) is subsumed by p(n5,n5)")
+	}
+}
+
+func TestHomSubsumes(t *testing.T) {
+	cases := []struct {
+		f, g ast.Fact
+		want bool
+	}{
+		{ast.NewFact("p", term.Null(1)), ast.NewFact("p", term.String("a")), true},
+		{ast.NewFact("p", term.Null(1), term.Null(1)), ast.NewFact("p", term.String("a"), term.String("a")), true},
+		{ast.NewFact("p", term.Null(1), term.Null(1)), ast.NewFact("p", term.String("a"), term.String("b")), false},
+		{ast.NewFact("p", term.String("a"), term.Null(1)), ast.NewFact("p", term.String("b"), term.String("c")), false},
+		{ast.NewFact("p", term.Null(1), term.Null(2)), ast.NewFact("p", term.String("a"), term.String("a")), true},
+	}
+	for i, c := range cases {
+		if got := homSubsumes(c.f, c.g); got != c.want {
+			t.Errorf("case %d: homSubsumes(%v, %v) = %v, want %v", i, c.f, c.g, got, c.want)
+		}
+	}
+}
+
+func TestSkolemChaseAdmitsEverything(t *testing.T) {
+	res := analyzed(t, `p(X) -> q(X).`)
+	p := NewSkolemChase(res)
+	root := p.NewEDBFact(ast.NewFact("p", term.String("a")))
+	for i := 0; i < 5; i++ {
+		m := p.Derive(ast.NewFact("q", term.Null(int64(i))), 0, []*core.FactMeta{root})
+		if !p.CheckTermination(m) {
+			t.Fatal("skolem chase never cuts")
+		}
+	}
+}
+
+func TestBulkEngineTransitiveClosure(t *testing.T) {
+	prog := parser.MustParse(`
+		edge(X,Y) -> path(X,Y).
+		path(X,Y), edge(Y,Z) -> path(X,Z).
+	`)
+	be, err := NewBulkEngine(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edb := []ast.Fact{
+		ast.NewFact("edge", term.String("a"), term.String("b")),
+		ast.NewFact("edge", term.String("b"), term.String("c")),
+		ast.NewFact("edge", term.String("c"), term.String("a")),
+	}
+	if err := be.Run(edb); err != nil {
+		t.Fatal(err)
+	}
+	if got := be.Count("path"); got != 9 {
+		t.Fatalf("paths: %d, want 9", got)
+	}
+	if be.Iterations < 2 {
+		t.Errorf("semi-naive iterations: %d", be.Iterations)
+	}
+	if be.IndexBuilds == 0 {
+		t.Error("bulk engine must rebuild indexes")
+	}
+}
+
+func TestBulkEngineRejectsExistentials(t *testing.T) {
+	prog := parser.MustParse(`p(X) -> q(X, Z).`)
+	if _, err := NewBulkEngine(prog); err == nil {
+		t.Fatal("existential rules must be rejected")
+	}
+	prog = parser.MustParse(`p(X), X > 1, T = X + 1 -> q(T).`)
+	be, err := NewBulkEngine(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := be.Run([]ast.Fact{ast.NewFact("p", term.Int(5))}); err != nil {
+		t.Fatal(err)
+	}
+	if be.Count("q") != 1 {
+		t.Errorf("conditions/assignments in bulk engine: %v", be.Facts("q"))
+	}
+}

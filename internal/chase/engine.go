@@ -1,0 +1,355 @@
+// Package chase implements the reference reasoning engine: a breadth-first
+// chase (Algorithm 2 of the paper) driven by the termination strategy of
+// internal/core, over the compiled rules and indexed store of
+// internal/eval and internal/storage. The streaming pipeline engine of
+// internal/pipeline produces the same answers; this engine is the
+// readable, correctness-first counterpart used for cross-validation.
+package chase
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/rewrite"
+	"repro/internal/storage"
+	"repro/internal/term"
+)
+
+// ErrInconsistent is returned (wrapped) when a negative constraint fires
+// or an EGD equates two distinct constants.
+var ErrInconsistent = errors.New("chase: knowledge base is inconsistent")
+
+// ErrBudget is returned when MaxDerivations is exceeded; with the
+// termination strategy enabled this indicates a genuinely enormous answer,
+// with it disabled it is the expected outcome on non-terminating programs.
+var ErrBudget = errors.New("chase: derivation budget exceeded")
+
+// Options configures a reasoning run.
+type Options struct {
+	// Rewrite selects the logic-optimizer passes; zero value means
+	// rewrite.DefaultOptions().
+	Rewrite *rewrite.Options
+	// DisableSummary turns off horizontal pruning (lifted linear forest)
+	// for ablations.
+	DisableSummary bool
+	// MaxDerivations caps admitted facts (0 = 10_000_000).
+	MaxDerivations int
+	// RequireWarded makes Run fail when the (rewritten) program is not
+	// warded instead of proceeding best-effort.
+	RequireWarded bool
+	// NewPolicy overrides the termination policy (nil = the full strategy
+	// of Algorithm 1). Baselines live in internal/baseline.
+	NewPolicy func(*analysis.Result) core.Policy
+	// DisableDynamicIndex turns off the slot machine join's dynamic
+	// in-memory indexing (ablation): lookups scan.
+	DisableDynamicIndex bool
+}
+
+// Result is the outcome of a reasoning run.
+type Result struct {
+	DB       *storage.Database
+	Program  *ast.Program // rewritten program actually executed
+	Analysis *analysis.Result
+	Strategy core.Policy
+	Subst    *eval.NullSubst
+	Rewrite  *rewrite.Result
+
+	// Derivations counts admitted (inserted) facts, EDB included.
+	Derivations int
+	posts       []ast.PostDirective
+}
+
+// Output returns the facts of pred with the program's @post directives
+// applied (certain-answer filtering, ordering, limit, keepMax/keepMin
+// final aggregates) and the EGD null substitution resolved.
+func (r *Result) Output(pred string) []ast.Fact {
+	return eval.ApplyPost(r.DB.FactsOf(pred), r.posts, pred, r.Subst)
+}
+
+// Engine is a single reasoning session.
+type Engine struct {
+	opts  Options
+	prog  *ast.Program
+	res   *analysis.Result
+	rw    *rewrite.Result
+	db    *storage.Database
+	strat core.Policy
+	mt    *eval.Matcher
+	subst *eval.NullSubst
+
+	rules    []*eval.CompiledRule
+	bindings []*eval.Binding
+	aggs     []*eval.AggState
+	postAgg  [][]eval.CCond // conditions depending on the aggregate result
+	// byPred maps predicate -> (rule idx, pos idx) pairs for delta pinning.
+	byPred map[string][][2]int
+
+	queue       []*core.FactMeta
+	derivations int
+	budget      int
+}
+
+// New prepares an engine for prog: rewriting, analysis, compilation.
+func New(prog *ast.Program, opts Options) (*Engine, error) {
+	rwOpts := rewrite.DefaultOptions()
+	if opts.Rewrite != nil {
+		rwOpts = *opts.Rewrite
+	}
+	rw, err := rewrite.Apply(prog, rwOpts)
+	if err != nil {
+		return nil, err
+	}
+	res := analysis.Analyze(rw.Program)
+	if opts.RequireWarded && !res.Warded {
+		return nil, fmt.Errorf("chase: program is not warded: %s", strings.Join(res.Violations, "; "))
+	}
+	e := &Engine{
+		opts:   opts,
+		prog:   rw.Program,
+		res:    res,
+		rw:     rw,
+		db:     storage.NewDatabase(),
+		subst:  eval.NewNullSubst(),
+		byPred: make(map[string][][2]int),
+		budget: opts.MaxDerivations,
+	}
+	if e.budget <= 0 {
+		e.budget = 10_000_000
+	}
+	if opts.NewPolicy != nil {
+		e.strat = opts.NewPolicy(res)
+	} else {
+		full := core.NewStrategy(res)
+		full.DisableSummary = opts.DisableSummary
+		e.strat = full
+	}
+	if opts.DisableDynamicIndex {
+		e.db.DisableIndexes()
+	}
+	e.mt = &eval.Matcher{DB: e.db}
+	for i, r := range rw.Program.Rules {
+		cr, err := eval.Compile(r, res.Rules[i])
+		if err != nil {
+			return nil, err
+		}
+		if len(cr.Pos) == 0 {
+			return nil, fmt.Errorf("chase: rule %d has no positive body atom: %s", r.ID, r.String())
+		}
+		e.rules = append(e.rules, cr)
+		e.bindings = append(e.bindings, eval.NewBinding(cr))
+		if r.Aggregate != nil {
+			e.aggs = append(e.aggs, eval.NewAggState(r.Aggregate.Func))
+		} else {
+			e.aggs = append(e.aggs, nil)
+		}
+		var pa []eval.CCond
+		if cr.Agg != nil {
+			for _, c := range cr.Conds {
+				for _, d := range c.Deps {
+					if d == cr.Agg.ResultSlot {
+						pa = append(pa, c)
+						break
+					}
+				}
+			}
+		}
+		e.postAgg = append(e.postAgg, pa)
+		for pi, a := range cr.Pos {
+			e.byPred[a.Pred] = append(e.byPred[a.Pred], [2]int{i, pi})
+		}
+	}
+	return e, nil
+}
+
+// LoadFact admits one EDB fact (before or during Run).
+func (e *Engine) LoadFact(f ast.Fact) {
+	rel := e.db.Rel(f.Pred, len(f.Args))
+	if rel.Contains(f) {
+		return
+	}
+	e.db.InsertEDB(f, e.strat)
+	m := rel.At(rel.Len() - 1)
+	e.queue = append(e.queue, m)
+	e.derivations++
+	e.insertTagTwin(f)
+}
+
+// insertTagTwin mirrors an admitted fact of a tagged predicate into its
+// tag twin, with labelled nulls replaced by their canonical ground keys
+// (dynamic harmful-join elimination; see rewrite.EliminateHarmfulJoinsDynamic).
+func (e *Engine) insertTagTwin(f ast.Fact) {
+	twin, ok := e.rw.TagPreds[f.Pred]
+	if !ok {
+		return
+	}
+	args := make([]term.Value, len(f.Args))
+	for i, v := range f.Args {
+		if v.IsNull() {
+			args[i] = term.String("\x00" + e.db.Nulls.KeyOf(v))
+		} else {
+			args[i] = v
+		}
+	}
+	tf := ast.Fact{Pred: twin, Args: args}
+	rel := e.db.Rel(twin, len(args))
+	if rel.Contains(tf) {
+		return
+	}
+	m := e.strat.NewEDBFact(tf)
+	rel.Insert(m)
+	e.queue = append(e.queue, m)
+}
+
+// Run executes the chase to fixpoint and returns the result.
+func (e *Engine) Run(edb []ast.Fact) (*Result, error) {
+	for _, f := range e.prog.Facts {
+		e.LoadFact(f)
+	}
+	for _, f := range edb {
+		e.LoadFact(f)
+	}
+	for len(e.queue) > 0 {
+		m := e.queue[0]
+		e.queue = e.queue[1:]
+		for _, rp := range e.byPred[m.Fact.Pred] {
+			if err := e.fire(rp[0], rp[1], m); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Result{
+		DB:          e.db,
+		Program:     e.prog,
+		Analysis:    e.res,
+		Strategy:    e.strat,
+		Subst:       e.subst,
+		Rewrite:     e.rw,
+		Derivations: e.derivations,
+		posts:       e.prog.Posts,
+	}, nil
+}
+
+// fire applies rule ri with its pos-th body atom pinned to delta fact m.
+func (e *Engine) fire(ri, pos int, m *core.FactMeta) error {
+	cr := e.rules[ri]
+	b := e.bindings[ri]
+	return e.mt.MatchPinned(cr, pos, m, b, func(b *eval.Binding) error {
+		return e.emit(ri, cr, b)
+	})
+}
+
+func (e *Engine) emit(ri int, cr *eval.CompiledRule, b *eval.Binding) error {
+	rule := cr.Rule
+	switch {
+	case rule.IsConstraint:
+		return fmt.Errorf("%w: constraint fired: %s", ErrInconsistent, rule.String())
+	case rule.EGD != nil:
+		l := b.Vals[cr.VarSlot[rule.EGD.Left]]
+		r := b.Vals[cr.VarSlot[rule.EGD.Right]]
+		if err := e.subst.Unify(l, r); err != nil {
+			return fmt.Errorf("%w: %v (egd %s)", ErrInconsistent, err, rule.String())
+		}
+		return nil
+	}
+	if cr.Agg != nil {
+		group := make([]term.Value, len(cr.Agg.GroupSlots))
+		for i, s := range cr.Agg.GroupSlots {
+			group[i] = b.Vals[s]
+		}
+		contrib := make([]term.Value, len(cr.Agg.ContribSlots))
+		for i, s := range cr.Agg.ContribSlots {
+			contrib[i] = b.Vals[s]
+		}
+		var x term.Value
+		if cr.Agg.ArgSlot >= 0 {
+			x = b.Vals[cr.Agg.ArgSlot]
+		} else {
+			envVals := map[string]term.Value{}
+			for v, s := range cr.VarSlot {
+				if b.Bound[s] {
+					envVals[v] = b.Vals[s]
+				}
+			}
+			var err error
+			x, err = cr.Agg.Arg.Eval(envVals)
+			if err != nil {
+				return err
+			}
+		}
+		agg, err := e.aggs[ri].Update(group, contrib, x)
+		if err != nil {
+			return err
+		}
+		b.Vals[cr.Agg.ResultSlot] = agg
+		b.Bound[cr.Agg.ResultSlot] = true
+		for i := range e.postAgg[ri] {
+			c := &e.postAgg[ri][i]
+			if c.Fast {
+				if !c.EvalFast(b.Vals) {
+					return nil
+				}
+				continue
+			}
+			envVals := map[string]term.Value{rule.Aggregate.Result: agg}
+			for v, s := range cr.VarSlot {
+				if b.Bound[s] {
+					envVals[v] = b.Vals[s]
+				}
+			}
+			ok, err := ast.EvalCondition(c.Cond, envVals)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+	}
+	e.mt.InstantiateExistentials(cr, b)
+	heads, err := eval.HeadFacts(cr, b, e.subst)
+	if err != nil {
+		return err
+	}
+	parents := eval.WardFirstParents(cr, b)
+	for _, hf := range heads {
+		if err := e.admit(hf, rule.ID, parents); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// admit runs the set-semantics duplicate check, the termination strategy,
+// and on success stores the fact and schedules it.
+func (e *Engine) admit(f ast.Fact, ruleID int, parents []*core.FactMeta) error {
+	rel := e.db.Rel(f.Pred, len(f.Args))
+	if rel.Contains(f) {
+		return nil
+	}
+	m := e.strat.Derive(f, ruleID, parents)
+	if !e.strat.CheckTermination(m) {
+		return nil
+	}
+	if e.derivations >= e.budget {
+		return fmt.Errorf("%w (%d facts)", ErrBudget, e.derivations)
+	}
+	rel.Insert(m)
+	e.derivations++
+	e.queue = append(e.queue, m)
+	e.insertTagTwin(f)
+	return nil
+}
+
+// Run is the convenience one-shot entry point.
+func Run(prog *ast.Program, edb []ast.Fact, opts Options) (*Result, error) {
+	e, err := New(prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(edb)
+}

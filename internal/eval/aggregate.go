@@ -1,0 +1,276 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/term"
+)
+
+// AggState holds the stateful record-level monotonic aggregation operators
+// of paper Sec. 5 for one rule: per group-by tuple, the current aggregate
+// and the best contribution seen per contributor tuple.
+type AggState struct {
+	fn     string
+	groups map[string]*groupState
+}
+
+type groupState struct {
+	// contribs maps a contributor key to its best (max for increasing,
+	// min for decreasing aggregations) contribution so far.
+	contribs map[string]term.Value
+	// distinct collects values for mcount/munion.
+	distinct map[term.Value]bool
+	// cur is the running aggregate for mmin/mmax.
+	cur    term.Value
+	hasCur bool
+	// sum caches the current sum/product to avoid rescanning contributors.
+	sum    float64
+	sumInt int64
+	isInt  bool
+	prod   float64
+}
+
+// NewAggState creates the state for aggregation function fn.
+func NewAggState(fn string) *AggState {
+	return &AggState{fn: fn, groups: make(map[string]*groupState)}
+}
+
+func keyOf(vals []term.Value) string {
+	var sb strings.Builder
+	for _, v := range vals {
+		sb.WriteString(v.String())
+		sb.WriteByte('\x00')
+	}
+	return sb.String()
+}
+
+// Update feeds one body match into the aggregate: group is the group-by
+// tuple, contrib the contributor tuple (may be empty), x the aggregated
+// value. It returns the updated monotonic aggregate for the group.
+//
+// Per the paper, for each contributor value the maximum (for increasing
+// functions: msum over non-negative, mprod over ≥1, mmax, mcount, munion)
+// or minimum (mmin) contribution is retained, and the aggregate is
+// recomputed over the retained contributions; subsequent invocations yield
+// updated values whose limit is the final aggregate.
+func (st *AggState) Update(group, contrib []term.Value, x term.Value) (term.Value, error) {
+	gk := keyOf(group)
+	g := st.groups[gk]
+	if g == nil {
+		g = &groupState{
+			contribs: make(map[string]term.Value),
+			isInt:    true,
+			prod:     1,
+		}
+		if st.fn == "mcount" || st.fn == "munion" {
+			g.distinct = make(map[term.Value]bool)
+		}
+		st.groups[gk] = g
+	}
+	switch st.fn {
+	case "msum", "mprod":
+		if !x.IsNumeric() {
+			return term.Value{}, fmt.Errorf("eval: %s over non-numeric value %s", st.fn, x)
+		}
+		ck := keyOf(contrib)
+		if len(contrib) == 0 {
+			// No windowing: set semantics — each distinct value per group
+			// contributes once (idempotent under re-derivation).
+			ck = keyOf([]term.Value{x})
+		}
+		old, had := g.contribs[ck]
+		if had && term.Compare(x, old) <= 0 {
+			// Not an improvement; aggregate unchanged.
+			return st.currentSumProd(g), nil
+		}
+		g.contribs[ck] = x
+		if x.Kind() != term.KindInt {
+			g.isInt = false
+		}
+		if st.fn == "msum" {
+			if had {
+				g.sum -= old.FloatVal()
+				g.sumInt -= intOf(old)
+			}
+			g.sum += x.FloatVal()
+			g.sumInt += intOf(x)
+		} else {
+			if had && old.FloatVal() != 0 {
+				g.prod /= old.FloatVal()
+			}
+			g.prod *= x.FloatVal()
+		}
+		return st.currentSumProd(g), nil
+	case "mmin":
+		if !g.hasCur || term.Compare(x, g.cur) < 0 {
+			g.cur = x
+			g.hasCur = true
+		}
+		return g.cur, nil
+	case "mmax":
+		if !g.hasCur || term.Compare(x, g.cur) > 0 {
+			g.cur = x
+			g.hasCur = true
+		}
+		return g.cur, nil
+	case "mcount":
+		key := x
+		if len(contrib) > 0 {
+			key = term.String(keyOf(contrib))
+		}
+		g.distinct[key] = true
+		return term.Int(int64(len(g.distinct))), nil
+	case "munion":
+		g.distinct[x] = true
+		return setValue(g.distinct), nil
+	default:
+		return term.Value{}, fmt.Errorf("eval: unknown aggregation function %s", st.fn)
+	}
+}
+
+func (st *AggState) currentSumProd(g *groupState) term.Value {
+	if st.fn == "mprod" {
+		return term.Float(g.prod)
+	}
+	if g.isInt {
+		return term.Int(g.sumInt)
+	}
+	return term.Float(g.sum)
+}
+
+func intOf(v term.Value) int64 {
+	if v.Kind() == term.KindInt {
+		return v.IntVal()
+	}
+	return 0
+}
+
+// Final returns the current (final, once the chase has quiesced) aggregate
+// for a group, if present.
+func (st *AggState) Final(group []term.Value) (term.Value, bool) {
+	g := st.groups[keyOf(group)]
+	if g == nil {
+		return term.Value{}, false
+	}
+	switch st.fn {
+	case "msum", "mprod":
+		return st.currentSumProd(g), true
+	case "mmin", "mmax":
+		return g.cur, g.hasCur
+	case "mcount":
+		return term.Int(int64(len(g.distinct))), true
+	case "munion":
+		return setValue(g.distinct), true
+	}
+	return term.Value{}, false
+}
+
+// Groups returns the number of distinct group-by tuples seen.
+func (st *AggState) Groups() int { return len(st.groups) }
+
+// setValue renders a set of values as a canonical string constant
+// "{a,b,c}" with sorted elements; Vadalog's composite set type is modeled
+// as this canonical form so values stay comparable map keys.
+func setValue(set map[term.Value]bool) term.Value {
+	elems := make([]term.Value, 0, len(set))
+	for v := range set {
+		elems = append(elems, v)
+	}
+	term.SortValues(elems)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, v := range elems {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(v.String())
+	}
+	sb.WriteByte('}')
+	return term.String(sb.String())
+}
+
+// NullSubst is a union-find substitution over labelled nulls, produced by
+// equality-generating dependencies: a null may be unified with another
+// null or promoted to a constant. Engines normalize freshly created facts
+// through Resolve and apply the substitution again when emitting results.
+type NullSubst struct {
+	parent map[int64]int64      // null id -> representative null id
+	value  map[int64]term.Value // representative null id -> ground value
+}
+
+// NewNullSubst returns an empty substitution.
+func NewNullSubst() *NullSubst {
+	return &NullSubst{parent: make(map[int64]int64), value: make(map[int64]term.Value)}
+}
+
+func (ns *NullSubst) find(id int64) int64 {
+	root := id
+	for {
+		p, ok := ns.parent[root]
+		if !ok {
+			break
+		}
+		root = p
+	}
+	// Path compression.
+	for id != root {
+		next := ns.parent[id]
+		ns.parent[id] = root
+		id = next
+	}
+	return root
+}
+
+// Resolve maps v through the substitution: nulls resolve to their
+// representative null or to the ground value they were equated with.
+func (ns *NullSubst) Resolve(v term.Value) term.Value {
+	if !v.IsNull() {
+		return v
+	}
+	root := ns.find(v.NullID())
+	if gv, ok := ns.value[root]; ok {
+		return gv
+	}
+	return term.Null(root)
+}
+
+// Unify records a = b. It returns an error when two distinct ground values
+// are equated (a hard EGD violation).
+func (ns *NullSubst) Unify(a, b term.Value) error {
+	a, b = ns.Resolve(a), ns.Resolve(b)
+	if a == b {
+		return nil
+	}
+	switch {
+	case a.IsNull() && b.IsNull():
+		ra, rb := ns.find(a.NullID()), ns.find(b.NullID())
+		if ra != rb {
+			ns.parent[ra] = rb
+		}
+	case a.IsNull():
+		ns.value[ns.find(a.NullID())] = b
+	case b.IsNull():
+		ns.value[ns.find(b.NullID())] = a
+	default:
+		return fmt.Errorf("eval: EGD violation: %s = %s over distinct constants", a, b)
+	}
+	return nil
+}
+
+// Empty reports whether no equation has been recorded.
+func (ns *NullSubst) Empty() bool { return len(ns.parent) == 0 && len(ns.value) == 0 }
+
+// Size returns the number of recorded equations (for diagnostics).
+func (ns *NullSubst) Size() int { return len(ns.parent) + len(ns.value) }
+
+// SortedGroundings lists null->constant promotions for tests.
+func (ns *NullSubst) SortedGroundings() []string {
+	var out []string
+	for id, v := range ns.value {
+		out = append(out, fmt.Sprintf("n%d=%s", id, v))
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,316 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/storage"
+	"repro/internal/term"
+)
+
+func compileFirst(t *testing.T, src string) (*CompiledRule, *analysis.Result) {
+	t.Helper()
+	prog := parser.MustParse(src)
+	res := analysis.Analyze(prog)
+	cr, err := Compile(prog.Rules[0], res.Rules[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cr, res
+}
+
+func loadDB(t *testing.T, res *analysis.Result, facts ...ast.Fact) *storage.Database {
+	t.Helper()
+	db := storage.NewDatabase()
+	strat := core.NewStrategy(res)
+	for _, f := range facts {
+		db.InsertEDB(f, strat)
+	}
+	return db
+}
+
+func collectMatches(t *testing.T, cr *CompiledRule, db *storage.Database, pinned int, m *core.FactMeta) [][]term.Value {
+	t.Helper()
+	mt := &Matcher{DB: db}
+	b := NewBinding(cr)
+	var out [][]term.Value
+	err := mt.MatchPinned(cr, pinned, m, b, func(b *Binding) error {
+		row := make([]term.Value, len(b.Vals))
+		copy(row, b.Vals)
+		out = append(out, row)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestCompileSlots(t *testing.T) {
+	cr, _ := compileFirst(t, `p(X,Y), q(Y,Z), Z > 1 -> r(X,Z).`)
+	if len(cr.Pos) != 2 || len(cr.Conds) != 1 || len(cr.Heads) != 1 {
+		t.Fatalf("shape: pos=%d conds=%d heads=%d", len(cr.Pos), len(cr.Conds), len(cr.Heads))
+	}
+	if cr.NSlots != 3 {
+		t.Fatalf("slots: %d", cr.NSlots)
+	}
+}
+
+func TestMatchJoin(t *testing.T) {
+	cr, res := compileFirst(t, `p(X,Y), q(Y,Z) -> r(X,Z).`)
+	db := loadDB(t, res,
+		ast.NewFact("p", term.Int(1), term.Int(2)),
+		ast.NewFact("p", term.Int(5), term.Int(6)),
+		ast.NewFact("q", term.Int(2), term.Int(3)),
+		ast.NewFact("q", term.Int(2), term.Int(4)),
+	)
+	rel := db.Lookup("p")
+	got := collectMatches(t, cr, db, 0, rel.At(0)) // p(1,2)
+	if len(got) != 2 {
+		t.Fatalf("matches: %d, want 2", len(got))
+	}
+	got = collectMatches(t, cr, db, 0, rel.At(1)) // p(5,6): no q(6,_)
+	if len(got) != 0 {
+		t.Fatalf("matches: %d, want 0", len(got))
+	}
+}
+
+func TestMatchRepeatedVariable(t *testing.T) {
+	cr, res := compileFirst(t, `p(X,X) -> r(X).`)
+	db := loadDB(t, res,
+		ast.NewFact("p", term.Int(1), term.Int(1)),
+		ast.NewFact("p", term.Int(1), term.Int(2)),
+	)
+	rel := db.Lookup("p")
+	if got := collectMatches(t, cr, db, 0, rel.At(0)); len(got) != 1 {
+		t.Fatalf("p(1,1) must match: %d", len(got))
+	}
+	if got := collectMatches(t, cr, db, 0, rel.At(1)); len(got) != 0 {
+		t.Fatalf("p(1,2) must not match: %d", len(got))
+	}
+}
+
+func TestMatchConstantInAtom(t *testing.T) {
+	cr, res := compileFirst(t, `p(a, Y) -> r(Y).`)
+	db := loadDB(t, res,
+		ast.NewFact("p", term.String("a"), term.Int(1)),
+		ast.NewFact("p", term.String("b"), term.Int(2)),
+	)
+	rel := db.Lookup("p")
+	if got := collectMatches(t, cr, db, 0, rel.At(1)); len(got) != 0 {
+		t.Fatal("constant mismatch must fail")
+	}
+	if got := collectMatches(t, cr, db, 0, rel.At(0)); len(got) != 1 {
+		t.Fatal("constant match must succeed")
+	}
+}
+
+func TestConditionPushdown(t *testing.T) {
+	// The schedule must evaluate X > 3 before matching q (selection
+	// push-down): we verify by behaviour — no q facts needed to reject.
+	cr, _ := compileFirst(t, `p(X), X > 3, q(X,Y) -> r(Y).`)
+	sched := cr.schedules[0]
+	condPos, matchPos := -1, -1
+	for i, st := range sched {
+		if st.Kind == StepCond && condPos == -1 {
+			condPos = i
+		}
+		if st.Kind == StepMatch && matchPos == -1 {
+			matchPos = i
+		}
+	}
+	if condPos == -1 || matchPos == -1 || condPos > matchPos {
+		t.Fatalf("condition not pushed down: %v", sched)
+	}
+}
+
+func TestExistentialSkolemDeterminism(t *testing.T) {
+	cr, res := compileFirst(t, `p(X) -> q(X, Z).`)
+	db := loadDB(t, res, ast.NewFact("p", term.String("a")))
+	mt := &Matcher{DB: db}
+	b := NewBinding(cr)
+	rel := db.Lookup("p")
+	var first, second term.Value
+	for round := 0; round < 2; round++ {
+		err := mt.MatchPinned(cr, 0, rel.At(0), b, func(b *Binding) error {
+			mt.InstantiateExistentials(cr, b)
+			heads, err := HeadFacts(cr, b, nil)
+			if err != nil {
+				return err
+			}
+			if round == 0 {
+				first = heads[0].Args[1]
+			} else {
+				second = heads[0].Args[1]
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !first.IsNull() {
+		t.Fatal("existential must be a null")
+	}
+	if first != second {
+		t.Error("skolem nulls must be deterministic across re-evaluation")
+	}
+}
+
+func TestWardFirstParents(t *testing.T) {
+	prog := parser.MustParse(`
+		c(X) -> w(X, N).
+		w(X, N), e(X, Y) -> w(Y, N).
+	`)
+	res := analysis.Analyze(prog)
+	cr, err := Compile(prog.Rules[1], res.Rules[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.WardPos != 0 {
+		t.Fatalf("ward pos: %d", cr.WardPos)
+	}
+	b := NewBinding(cr)
+	w := &core.FactMeta{Fact: ast.NewFact("w", term.String("a"), term.Null(1))}
+	e := &core.FactMeta{Fact: ast.NewFact("e", term.String("a"), term.String("b"))}
+	b.Parents[0] = w
+	b.Parents[1] = e
+	parents := WardFirstParents(cr, b)
+	if parents[0] != w {
+		t.Error("ward parent must come first")
+	}
+}
+
+func TestAggStateMSum(t *testing.T) {
+	st := NewAggState("msum")
+	g := []term.Value{term.Int(1)}
+	// Same contributor y=2 contributes max(5,3)=5; y=3 adds 7.
+	v, err := st.Update(g, []term.Value{term.Int(2)}, term.Int(5))
+	if err != nil || v != term.Int(5) {
+		t.Fatalf("v=%v err=%v", v, err)
+	}
+	v, _ = st.Update(g, []term.Value{term.Int(2)}, term.Int(3))
+	if v != term.Int(5) {
+		t.Errorf("non-improving contribution changed the sum: %v", v)
+	}
+	v, _ = st.Update(g, []term.Value{term.Int(3)}, term.Int(7))
+	if v != term.Int(12) {
+		t.Errorf("sum: %v, want 12", v)
+	}
+	// Improvement for contributor 2: 5 -> 6.
+	v, _ = st.Update(g, []term.Value{term.Int(2)}, term.Int(6))
+	if v != term.Int(13) {
+		t.Errorf("sum after improvement: %v, want 13", v)
+	}
+	if st.Groups() != 1 {
+		t.Errorf("groups: %d", st.Groups())
+	}
+}
+
+func TestAggStateOrderIndependence(t *testing.T) {
+	// Property: the final msum value is the same for any arrival order.
+	type upd struct {
+		c, x int64
+	}
+	updates := []upd{{1, 5}, {1, 3}, {2, 7}, {3, 2}, {2, 1}, {3, 9}}
+	perms := [][]int{
+		{0, 1, 2, 3, 4, 5}, {5, 4, 3, 2, 1, 0}, {2, 0, 5, 1, 4, 3}, {3, 5, 0, 4, 2, 1},
+	}
+	var want term.Value
+	for pi, perm := range perms {
+		st := NewAggState("msum")
+		var last term.Value
+		for _, i := range perm {
+			u := updates[i]
+			v, err := st.Update(nil, []term.Value{term.Int(u.c)}, term.Int(u.x))
+			if err != nil {
+				t.Fatal(err)
+			}
+			last = v
+		}
+		final, _ := st.Final(nil)
+		if last != final {
+			t.Errorf("perm %d: last update %v != final %v", pi, last, final)
+		}
+		if pi == 0 {
+			want = final
+		} else if final != want {
+			t.Errorf("perm %d: final %v, want %v", pi, final, want)
+		}
+	}
+	if want != term.Int(5+7+9) {
+		t.Errorf("final: %v, want 21", want)
+	}
+}
+
+func TestAggStateMinMaxCountUnion(t *testing.T) {
+	min := NewAggState("mmin")
+	min.Update(nil, nil, term.Int(5))
+	v, _ := min.Update(nil, nil, term.Int(2))
+	if v != term.Int(2) {
+		t.Errorf("mmin: %v", v)
+	}
+	max := NewAggState("mmax")
+	max.Update(nil, nil, term.Int(5))
+	v, _ = max.Update(nil, nil, term.Int(2))
+	if v != term.Int(5) {
+		t.Errorf("mmax: %v", v)
+	}
+	cnt := NewAggState("mcount")
+	cnt.Update(nil, nil, term.String("a"))
+	cnt.Update(nil, nil, term.String("a"))
+	v, _ = cnt.Update(nil, nil, term.String("b"))
+	if v != term.Int(2) {
+		t.Errorf("mcount distinct: %v", v)
+	}
+	un := NewAggState("munion")
+	un.Update(nil, nil, term.String("b"))
+	v, _ = un.Update(nil, nil, term.String("a"))
+	if v.Str() != "{a,b}" {
+		t.Errorf("munion canonical: %v", v)
+	}
+}
+
+func TestNullSubstUnionFind(t *testing.T) {
+	ns := NewNullSubst()
+	if !ns.Empty() {
+		t.Fatal("fresh subst must be empty")
+	}
+	if err := ns.Unify(term.Null(1), term.Null(2)); err != nil {
+		t.Fatal(err)
+	}
+	if ns.Resolve(term.Null(1)) != ns.Resolve(term.Null(2)) {
+		t.Error("unified nulls must resolve equally")
+	}
+	if err := ns.Unify(term.Null(2), term.String("bob")); err != nil {
+		t.Fatal(err)
+	}
+	if ns.Resolve(term.Null(1)) != term.String("bob") {
+		t.Errorf("resolve: %v", ns.Resolve(term.Null(1)))
+	}
+	if err := ns.Unify(term.Null(1), term.String("alice")); err == nil {
+		t.Error("conflicting constants must error")
+	}
+	if len(ns.SortedGroundings()) != 1 {
+		t.Errorf("groundings: %v", ns.SortedGroundings())
+	}
+}
+
+func TestNegationLookup(t *testing.T) {
+	cr, res := compileFirst(t, `p(X), not q(X, _) -> r(X).`)
+	db := loadDB(t, res,
+		ast.NewFact("p", term.Int(1)),
+		ast.NewFact("p", term.Int(2)),
+		ast.NewFact("q", term.Int(2), term.Int(9)),
+	)
+	rel := db.Lookup("p")
+	if got := collectMatches(t, cr, db, 0, rel.At(0)); len(got) != 1 {
+		t.Error("p(1) has no q: must match")
+	}
+	if got := collectMatches(t, cr, db, 0, rel.At(1)); len(got) != 0 {
+		t.Error("p(2) has q(2,9): must not match")
+	}
+}

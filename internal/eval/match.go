@@ -1,0 +1,343 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/term"
+)
+
+// Binding is the runtime slot environment of one rule evaluation. Buffers
+// are reused across matches of the same rule; Reset clears them.
+type Binding struct {
+	Vals  []term.Value
+	Bound []bool
+	// Parents collects the fact metadata matched per positive atom, in Pos
+	// order, for the termination strategy.
+	Parents []*core.FactMeta
+
+	envBuf map[string]term.Value
+	// probes holds one reusable lookup buffer per positive body atom;
+	// negProbes per negated atom; skArgs for Skolem argument evaluation.
+	probes    [][]term.Value
+	negProbes [][]term.Value
+	skArgs    []term.Value
+	newly     []int
+}
+
+// NewBinding allocates a binding for cr.
+func NewBinding(cr *CompiledRule) *Binding {
+	b := &Binding{
+		Vals:    make([]term.Value, cr.NSlots),
+		Bound:   make([]bool, cr.NSlots),
+		Parents: make([]*core.FactMeta, len(cr.Pos)),
+		envBuf:  make(map[string]term.Value),
+		probes:  make([][]term.Value, len(cr.Pos)),
+		newly:   make([]int, 0, cr.NSlots),
+	}
+	for i := range cr.Pos {
+		b.probes[i] = make([]term.Value, cr.Pos[i].arity())
+	}
+	b.negProbes = make([][]term.Value, len(cr.Neg))
+	for i := range cr.Neg {
+		b.negProbes[i] = make([]term.Value, cr.Neg[i].arity())
+	}
+	return b
+}
+
+// env materializes a variable->value map for expression evaluation,
+// restricted to the needed slots.
+func (b *Binding) env(cr *CompiledRule, deps []int) map[string]term.Value {
+	clear(b.envBuf)
+	for v, s := range cr.VarSlot {
+		if b.Bound[s] {
+			b.envBuf[v] = b.Vals[s]
+		}
+	}
+	_ = deps
+	return b.envBuf
+}
+
+// Matcher runs compiled rules against a database. It owns no mutable state
+// beyond per-rule reusable bindings, so one Matcher per engine suffices.
+type Matcher struct {
+	DB *storage.Database
+	// OnIndexProbe, when set, is invoked with the predicate name on each
+	// index lookup (buffer-manager touch hook).
+	OnIndexProbe func(pred string)
+}
+
+// unifyPinned binds the pinned atom against fact; reports success.
+func unifyPinned(b *Binding, a *CAtom, m *core.FactMeta) bool {
+	f := m.Fact
+	if len(f.Args) != a.arity() {
+		return false
+	}
+	for i, isv := range a.IsVar {
+		if !isv {
+			if f.Args[i] != a.Const[i] {
+				return false
+			}
+			continue
+		}
+		s := a.Slot[i]
+		if b.Bound[s] {
+			if b.Vals[s] != f.Args[i] {
+				return false
+			}
+		} else {
+			b.Bound[s] = true
+			b.Vals[s] = f.Args[i]
+		}
+	}
+	return true
+}
+
+// MatchPinned enumerates all matches of cr's positive body where Pos
+// [pinned] is bound to pinnedMeta, invoking emit for each complete
+// binding. emit must not retain b (copy what it needs). Returning an
+// error from emit aborts the enumeration.
+//
+// When pinned == len(cr.Pos) the rule is evaluated without a pin (naive
+// evaluation over the whole database).
+func (mt *Matcher) MatchPinned(cr *CompiledRule, pinned int, pinnedMeta *core.FactMeta, b *Binding, emit func(b *Binding) error) error {
+	for i := range b.Bound {
+		b.Bound[i] = false
+	}
+	for i := range b.Parents {
+		b.Parents[i] = nil
+	}
+	if pinned < len(cr.Pos) {
+		if !unifyPinned(b, &cr.Pos[pinned], pinnedMeta) {
+			return nil
+		}
+		b.Parents[pinned] = pinnedMeta
+	}
+	return mt.runSteps(cr, cr.schedules[pinned], 0, b, emit)
+}
+
+func (mt *Matcher) runSteps(cr *CompiledRule, steps []Step, si int, b *Binding, emit func(b *Binding) error) error {
+	for ; si < len(steps); si++ {
+		st := steps[si]
+		switch st.Kind {
+		case StepAssign:
+			ok, err := mt.evalAssign(cr, &cr.Assigns[st.Index], b)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		case StepCond:
+			c := &cr.Conds[st.Index]
+			if c.Fast {
+				if !c.EvalFast(b.Vals) {
+					return nil
+				}
+				continue
+			}
+			ok, err := ast.EvalCondition(c.Cond, b.env(cr, c.Deps))
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		case StepMatch:
+			return mt.matchAtom(cr, steps, si, st.Index, b, emit)
+		}
+	}
+	// All steps done: negation, dom guard, then emit.
+	for i := range cr.Neg {
+		cnt, err := mt.negCount(&cr.Neg[i], b, b.negProbes[i])
+		if err != nil {
+			return err
+		}
+		if cnt > 0 {
+			return nil
+		}
+	}
+	for _, s := range cr.DomSlots {
+		if !b.Bound[s] || !mt.DB.InActiveDomain(b.Vals[s]) {
+			return nil
+		}
+	}
+	return emit(b)
+}
+
+// matchAtom enumerates the facts matching Pos[ai] under the current
+// binding using the dynamic index, then recurses into the remaining steps.
+func (mt *Matcher) matchAtom(cr *CompiledRule, steps []Step, si int, ai int, b *Binding, emit func(b *Binding) error) error {
+	a := &cr.Pos[ai]
+	rel := mt.DB.Lookup(a.Pred)
+	if rel == nil {
+		return nil
+	}
+	if mt.OnIndexProbe != nil {
+		mt.OnIndexProbe(a.Pred)
+	}
+	probe := b.probes[ai]
+	var mask uint32
+	for i, isv := range a.IsVar {
+		if !isv {
+			mask |= 1 << uint(i)
+			probe[i] = a.Const[i]
+		} else if b.Bound[a.Slot[i]] {
+			mask |= 1 << uint(i)
+			probe[i] = b.Vals[a.Slot[i]]
+		}
+	}
+	rows := rel.Lookup(mask, probe)
+	markNewly := len(b.newly)
+	for _, row := range rows {
+		m := rel.At(int(row))
+		f := m.Fact
+		ok := true
+		for i, isv := range a.IsVar {
+			if !isv || mask&(1<<uint(i)) != 0 {
+				continue // constants and pre-bound positions guaranteed by index
+			}
+			s := a.Slot[i]
+			if b.Bound[s] {
+				if b.Vals[s] != f.Args[i] { // repeated variable within atom
+					ok = false
+					break
+				}
+			} else {
+				b.Bound[s] = true
+				b.Vals[s] = f.Args[i]
+				b.newly = append(b.newly, s)
+			}
+		}
+		if ok {
+			b.Parents[ai] = m
+			if err := mt.runSteps(cr, steps, si+1, b, emit); err != nil {
+				return err
+			}
+			b.Parents[ai] = nil
+		}
+		// Unbind this row's bindings (deeper levels restored theirs on
+		// return, so everything past markNewly belongs to this level).
+		for _, s := range b.newly[markNewly:] {
+			b.Bound[s] = false
+		}
+		b.newly = b.newly[:markNewly]
+	}
+	return nil
+}
+
+// negCount returns how many stored facts match the (fully bound) negated
+// atom.
+func (mt *Matcher) negCount(a *CAtom, b *Binding, probe []term.Value) (int, error) {
+	rel := mt.DB.Lookup(a.Pred)
+	if rel == nil {
+		return 0, nil
+	}
+	var mask uint32
+	for i, isv := range a.IsVar {
+		if !isv {
+			mask |= 1 << uint(i)
+			probe[i] = a.Const[i]
+			continue
+		}
+		s := a.Slot[i]
+		if !b.Bound[s] {
+			// Anonymous variable in a negated atom: wildcard position.
+			continue
+		}
+		mask |= 1 << uint(i)
+		probe[i] = b.Vals[s]
+	}
+	return rel.LookupCount(mask, probe), nil
+}
+
+// evalAssign computes one assignment; Skolem calls mint deterministic
+// nulls. It reports false (no error) when a type error should simply
+// filter the binding out — we treat evaluation errors as match failures
+// only for conditions; assignments propagate errors.
+func (mt *Matcher) evalAssign(cr *CompiledRule, a *CAssign, b *Binding) (bool, error) {
+	if a.IsSkolem {
+		b.skArgs = b.skArgs[:0]
+		env := b.env(cr, a.Deps)
+		for _, e := range a.SkArgs {
+			v, err := e.Eval(env)
+			if err != nil {
+				return false, err
+			}
+			b.skArgs = append(b.skArgs, v)
+		}
+		b.Vals[a.Slot] = mt.DB.Nulls.Skolem(a.SkName, b.skArgs...)
+		b.Bound[a.Slot] = true
+		return true, nil
+	}
+	v, err := a.Expr.Eval(b.env(cr, a.Deps))
+	if err != nil {
+		return false, err
+	}
+	b.Vals[a.Slot] = v
+	b.Bound[a.Slot] = true
+	return true, nil
+}
+
+// InstantiateExistentials fills the existential slots of b with the rule's
+// deterministic Skolem nulls.
+func (mt *Matcher) InstantiateExistentials(cr *CompiledRule, b *Binding) {
+	for _, ex := range cr.Exists {
+		b.skArgs = b.skArgs[:0]
+		for _, s := range ex.ArgSlots {
+			b.skArgs = append(b.skArgs, b.Vals[s])
+		}
+		b.Vals[ex.Slot] = mt.DB.Nulls.Skolem(ex.SkName, b.skArgs...)
+		b.Bound[ex.Slot] = true
+	}
+}
+
+// HeadFacts materializes the head atoms of cr under b (after existential
+// instantiation), applying the null substitution subst when non-nil.
+func HeadFacts(cr *CompiledRule, b *Binding, subst *NullSubst) ([]ast.Fact, error) {
+	out := make([]ast.Fact, 0, len(cr.Heads))
+	for hi := range cr.Heads {
+		h := &cr.Heads[hi]
+		args := make([]term.Value, h.arity())
+		for i, isv := range h.IsVar {
+			if !isv {
+				args[i] = h.Const[i]
+				continue
+			}
+			s := h.Slot[i]
+			if !b.Bound[s] {
+				return nil, fmt.Errorf("eval: head variable slot %d unbound in rule %d", s, cr.Rule.ID)
+			}
+			v := b.Vals[s]
+			if subst != nil {
+				v = subst.Resolve(v)
+			}
+			args[i] = v
+		}
+		out = append(out, ast.Fact{Pred: h.Pred, Args: args})
+	}
+	return out, nil
+}
+
+// WardFirstParents orders the matched parents so that the ward's fact
+// comes first, as core.Strategy.Derive expects for warded rules.
+func WardFirstParents(cr *CompiledRule, b *Binding) []*core.FactMeta {
+	out := make([]*core.FactMeta, 0, len(b.Parents))
+	if cr.WardPos >= 0 && cr.WardPos < len(b.Parents) {
+		out = append(out, b.Parents[cr.WardPos])
+		for i, p := range b.Parents {
+			if i != cr.WardPos && p != nil {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	for _, p := range b.Parents {
+		if p != nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package eval
+
+import (
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/term"
+)
+
+// ApplyPost implements the post-processing directives of paper Sec. 5
+// (Annotations → Post-processing Directives) for one output predicate:
+//
+//	certain        — drop facts with labelled nulls (certain answers);
+//	orderBy n      — sort by column n (1-based);
+//	limit n        — keep the first n facts;
+//	keepMax n      — per group (all columns except n), keep only the row
+//	                 with the maximal value in column n: the SQL-style
+//	                 final aggregate over the monotonic intermediates;
+//	keepMin n      — dually, the minimal row.
+//
+// The EGD null substitution is resolved first when non-nil. The input
+// slice is modified in place and returned.
+func ApplyPost(facts []ast.Fact, posts []ast.PostDirective, pred string, subst *NullSubst) []ast.Fact {
+	if subst != nil && !subst.Empty() {
+		for i, f := range facts {
+			args := make([]term.Value, len(f.Args))
+			for j, v := range f.Args {
+				args[j] = subst.Resolve(v)
+			}
+			facts[i] = ast.Fact{Pred: f.Pred, Args: args}
+		}
+		facts = dedupFacts(facts)
+	}
+	certain := false
+	orderBy, limit := -1, -1
+	keepMax, keepMin := -1, -1
+	for _, d := range posts {
+		if d.Pred != pred {
+			continue
+		}
+		switch d.Kind {
+		case "certain":
+			certain = true
+		case "orderBy":
+			orderBy = d.Arg - 1
+		case "limit":
+			limit = d.Arg
+		case "keepMax":
+			keepMax = d.Arg - 1
+		case "keepMin":
+			keepMin = d.Arg - 1
+		}
+	}
+	if certain {
+		kept := facts[:0]
+		for _, f := range facts {
+			if f.IsGround() {
+				kept = append(kept, f)
+			}
+		}
+		facts = kept
+	}
+	if keepMax >= 0 {
+		facts = keepExtremal(facts, keepMax, true)
+	}
+	if keepMin >= 0 {
+		facts = keepExtremal(facts, keepMin, false)
+	}
+	if orderBy >= 0 {
+		sort.SliceStable(facts, func(i, j int) bool {
+			if orderBy < len(facts[i].Args) && orderBy < len(facts[j].Args) {
+				return term.Compare(facts[i].Args[orderBy], facts[j].Args[orderBy]) < 0
+			}
+			return false
+		})
+	} else {
+		sort.Slice(facts, func(i, j int) bool { return facts[i].Key() < facts[j].Key() })
+	}
+	if limit >= 0 && len(facts) > limit {
+		facts = facts[:limit]
+	}
+	return facts
+}
+
+// keepExtremal groups facts by every column except col and keeps the row
+// with the maximal (or minimal) value at col.
+func keepExtremal(facts []ast.Fact, col int, max bool) []ast.Fact {
+	best := make(map[string]int, len(facts))
+	for i, f := range facts {
+		if col >= len(f.Args) {
+			continue
+		}
+		key := groupKey(f, col)
+		j, ok := best[key]
+		if !ok {
+			best[key] = i
+			continue
+		}
+		cmp := term.Compare(f.Args[col], facts[j].Args[col])
+		if (max && cmp > 0) || (!max && cmp < 0) {
+			best[key] = i
+		}
+	}
+	kept := make([]ast.Fact, 0, len(best))
+	for i, f := range facts {
+		if col >= len(f.Args) {
+			kept = append(kept, f)
+			continue
+		}
+		if best[groupKey(f, col)] == i {
+			kept = append(kept, f)
+		}
+	}
+	return kept
+}
+
+func groupKey(f ast.Fact, skip int) string {
+	g := ast.Fact{Pred: f.Pred, Args: make([]term.Value, 0, len(f.Args)-1)}
+	for i, a := range f.Args {
+		if i != skip {
+			g.Args = append(g.Args, a)
+		}
+	}
+	return g.Key()
+}
+
+func dedupFacts(facts []ast.Fact) []ast.Fact {
+	seen := make(map[string]bool, len(facts))
+	out := facts[:0]
+	for _, f := range facts {
+		k := f.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package dbpedia
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/parser"
+	"repro/internal/pipeline"
+)
+
+func TestGenerateShape(t *testing.T) {
+	d := Generate(Config{Companies: 1000, Persons: 4000, KeyPersonRate: 1.2, ControlRate: 0.35, Seed: 7})
+	if len(d.Companies) != 1000 || len(d.Persons) != 4000 {
+		t.Fatalf("sizes: %d companies %d persons", len(d.Companies), len(d.Persons))
+	}
+	// Control edges ≈ rate × companies.
+	if got := len(d.Controls); got < 250 || got > 450 {
+		t.Errorf("control edges: %d, want ≈350", got)
+	}
+	// Key persons ≈ rate × companies.
+	if got := len(d.KeyPersons); got < 1000 || got > 1400 {
+		t.Errorf("key persons: %d, want ≈1200", got)
+	}
+	// Parents have smaller ids: the control relation is acyclic.
+	for _, f := range d.Controls {
+		if f.Args[0].Str() >= f.Args[1].Str() && len(f.Args[0].Str()) == len(f.Args[1].Str()) {
+			t.Fatalf("parent id must be smaller: %v", f)
+		}
+	}
+	if d.Size() != len(d.All()) {
+		t.Error("Size and All disagree")
+	}
+}
+
+func TestProgramsAreWarded(t *testing.T) {
+	for name, src := range map[string]string{
+		"psc":         PSCProgram,
+		"allpsc":      AllPSCProgram,
+		"stronglinks": StrongLinksProgram(3),
+		"spec":        SpecStrongLinksProgram(0, 1),
+	} {
+		prog, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res := analysis.Analyze(prog)
+		if !res.Warded {
+			t.Errorf("%s: not warded: %v", name, res.Violations)
+		}
+	}
+}
+
+func TestPSCPropagation(t *testing.T) {
+	d := Generate(Config{Companies: 400, Persons: 1600, KeyPersonRate: 1.2, ControlRate: 0.5, Seed: 3})
+	prog := parser.MustParse(PSCProgram)
+	s, err := pipeline.New(prog, pipeline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(d.All()); err != nil {
+		t.Fatal(err)
+	}
+	psc := s.Output("psc")
+	if len(psc) <= len(d.KeyPersons) {
+		t.Errorf("psc (%d) must exceed direct key persons (%d): control propagation",
+			len(psc), len(d.KeyPersons))
+	}
+}
+
+func TestStrongLinksProducePairs(t *testing.T) {
+	d := Generate(Config{Companies: 150, Persons: 300, KeyPersonRate: 1.5, ControlRate: 0.4, Seed: 5})
+	prog := parser.MustParse(StrongLinksProgram(1))
+	s, err := pipeline.New(prog, pipeline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(d.All()); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Output("strongLink")) == 0 {
+		t.Error("expected some strong links")
+	}
+}

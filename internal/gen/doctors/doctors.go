@@ -1,0 +1,93 @@
+// Package doctors generates the Doctors / DoctorsFD data-integration
+// scenarios of paper Sec. 6.5: a non-recursive schema-mapping task from
+// the mapping literature (IQ-METER), with source relations about doctors,
+// prescriptions and hospitals, s-t tgds with existentials, and — in the
+// FD variant — equality-generating dependencies acting as functional
+// dependencies on the target.
+package doctors
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ast"
+	"repro/internal/term"
+)
+
+// Program is the Doctors mapping: source doctor/prescription/hospital
+// relations mapped into target physician/worksAt/prescription/treatment
+// relations with invented identifiers.
+const Program = `
+	doctor(Npi, Name, Spec, Hosp, Conf) -> physician(Npi, Name, Spec, W).
+	doctor(Npi, Name, Spec, Hosp, Conf), hospital(Hosp, City) -> worksAt(Npi, Hosp, City).
+	medprescription(Id, Npi, Drug, Date) -> targetprescription(Id, Npi, Drug, P).
+	medprescription(Id, Npi, Drug, Date), doctor(Npi, Name, Spec, Hosp, Conf) -> treatment(Id, Name, Spec).
+	physician(Npi, Name, Spec, W), worksAt(Npi, Hosp, City) -> doctorcity(Npi, City).
+	targetprescription(Id, Npi, Drug, P), physician(Npi, Name, Spec, W) -> prescribedby(Id, Name).
+`
+
+// FDProgram extends Program with target functional dependencies as EGDs:
+// a physician has one workplace record, a prescription one pharmacy.
+const FDProgram = Program + `
+	physician(Npi, N1, S1, W1), physician(Npi, N2, S2, W2) -> W1 = W2.
+	targetprescription(Id, N1, D1, P1), targetprescription(Id, N2, D2, P2) -> P1 = P2.
+`
+
+// Queries are the measured query mix (9 queries, as in the paper's
+// averaged response times).
+func Queries() []string {
+	qs := []string{
+		`doctorcity(Npi, City) -> q0(Npi, City).`,
+		`prescribedby(Id, Name) -> q1(Id, Name).`,
+		`physician(Npi, Name, Spec, W) -> q2(Npi, Spec).`,
+		`worksAt(Npi, Hosp, City) -> q3(Hosp, City).`,
+		`treatment(Id, Name, Spec) -> q4(Id, Spec).`,
+		`physician(Npi, Name, Spec, W), worksAt(Npi, Hosp, City), targetprescription(Id, Npi, Drug, P) -> q5(Name, Hosp, Drug).`,
+		`targetprescription(Id, Npi, Drug, P), treatment(Id, Name, Spec) -> q6(Drug, Name).`,
+		`physician(Npi, Name, onco, W) -> q7(Npi, Name).`,
+		`worksAt(Npi, Hosp, City), physician(Npi, Name, Spec, W), treatment(Id, Name, Spec) -> q8(Id, City).`,
+	}
+	for i := range qs {
+		qs[i] = qs[i] + fmt.Sprintf("\n@output(%q).\n", fmt.Sprintf("q%d", i))
+	}
+	return qs
+}
+
+// Generate produces a source instance with about n facts distributed over
+// doctor, hospital and medprescription.
+func Generate(n int, seed int64) []ast.Fact {
+	rng := rand.New(rand.NewSource(seed))
+	nDoctors := n / 2
+	nHospitals := max(1, n/20)
+	nPrescriptions := n - nDoctors - nHospitals
+	specs := []string{"onco", "cardio", "neuro", "gastro", "derma"}
+	var facts []ast.Fact
+	for h := 0; h < nHospitals; h++ {
+		facts = append(facts, ast.NewFact("hospital",
+			term.String(fmt.Sprintf("h%d", h)),
+			term.String(fmt.Sprintf("city%d", h%97))))
+	}
+	for d := 0; d < nDoctors; d++ {
+		facts = append(facts, ast.NewFact("doctor",
+			term.String(fmt.Sprintf("npi%d", d)),
+			term.String(fmt.Sprintf("dr%d", d)),
+			term.String(specs[rng.Intn(len(specs))]),
+			term.String(fmt.Sprintf("h%d", rng.Intn(nHospitals))),
+			term.Int(int64(rng.Intn(100)))))
+	}
+	for p := 0; p < nPrescriptions; p++ {
+		facts = append(facts, ast.NewFact("medprescription",
+			term.String(fmt.Sprintf("rx%d", p)),
+			term.String(fmt.Sprintf("npi%d", rng.Intn(max(1, nDoctors)))),
+			term.String(fmt.Sprintf("drug%d", rng.Intn(500))),
+			term.Int(int64(20000+rng.Intn(3000)))))
+	}
+	return facts
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

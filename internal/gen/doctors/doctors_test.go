@@ -1,0 +1,72 @@
+package doctors
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/parser"
+	"repro/internal/pipeline"
+)
+
+func TestProgramsParseAndAreWarded(t *testing.T) {
+	for name, src := range map[string]string{"doctors": Program, "doctorsFD": FDProgram} {
+		prog, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res := analysis.Analyze(prog)
+		if !res.Warded {
+			t.Errorf("%s: not warded: %v", name, res.Violations)
+		}
+	}
+	for i, q := range Queries() {
+		if _, err := parser.Parse(Program + q); err != nil {
+			t.Errorf("q%d: %v", i, err)
+		}
+	}
+}
+
+func TestGenerateRatios(t *testing.T) {
+	facts := Generate(10_000, 1)
+	if len(facts) < 9_000 || len(facts) > 11_000 {
+		t.Fatalf("facts: %d", len(facts))
+	}
+	counts := map[string]int{}
+	for _, f := range facts {
+		counts[f.Pred]++
+	}
+	if counts["doctor"] == 0 || counts["hospital"] == 0 || counts["medprescription"] == 0 {
+		t.Fatalf("relation mix: %v", counts)
+	}
+}
+
+func TestMappingEndToEnd(t *testing.T) {
+	facts := Generate(2000, 2)
+	for qi, q := range Queries() {
+		prog := parser.MustParse(Program + q)
+		s, err := pipeline.New(prog, pipeline.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(facts); err != nil {
+			t.Fatalf("q%d: %v", qi, err)
+		}
+		// Queries over populated targets should mostly return answers.
+		if qi <= 5 && len(s.Output(fmt.Sprintf("q%d", qi))) == 0 {
+			t.Errorf("q%d: empty result", qi)
+		}
+	}
+}
+
+func TestFDVariantUnifiesNulls(t *testing.T) {
+	facts := Generate(1000, 3)
+	prog := parser.MustParse(FDProgram + Queries()[2])
+	s, err := pipeline.New(prog, pipeline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(facts); err != nil {
+		t.Fatalf("FD variant must be consistent on generated data: %v", err)
+	}
+}

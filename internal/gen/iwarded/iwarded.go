@@ -1,0 +1,419 @@
+// Package iwarded reimplements the iWarded generator of paper Sec. 6.1: a
+// parameterized generator of warded Datalog± scenarios controlling the
+// number of linear and join rules, recursion, existential quantification
+// and the four join categories of Figure 6 (hrml⋈hrmf, hrml⋈hrml with and
+// without ward, hrmf⋈hrmf), plus the scaling knobs of Figure 8 (database
+// size, rule blocks, body atoms, arity).
+package iwarded
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/term"
+)
+
+// Config drives one scenario generation.
+type Config struct {
+	Name string
+
+	Linear    int // linear rules ("L rules")
+	Join      int // non-linear rules ("1 rules")
+	LinearRec int // recursive linear rules
+	JoinRec   int // recursive join rules
+	Exist     int // rules with existential quantification
+
+	JoinMixed   int // hrml⋈hrmf joins
+	JoinWard    int // hrml⋈hrml joins with ward
+	JoinNoWard  int // hrml⋈hrml joins without ward
+	JoinHarmful int // hrmf⋈hrmf joins
+
+	// EDBRelations is the number of extensional binary relations (≥2).
+	EDBRelations int
+	// FactsPerRel is the number of facts generated per EDB relation.
+	FactsPerRel int
+	// ComponentSize bounds the EDB graph components to keep null
+	// propagation local (shallow forests, as in corporate data).
+	ComponentSize int
+	// ExtraBodyAtoms appends chained EDB atoms to every join rule
+	// (Fig. 8c: scaling the number of atoms).
+	ExtraBodyAtoms int
+	// Arity is the arity of every predicate (default 2; Fig. 8d pads
+	// positions with pass-through columns).
+	Arity int
+	// Blocks replicates the whole scenario into independent copies with
+	// renamed predicates (Fig. 8b: scaling the number of rules).
+	Blocks int
+
+	Seed int64
+}
+
+func (c *Config) defaults() {
+	if c.EDBRelations < 2 {
+		c.EDBRelations = 4
+	}
+	if c.FactsPerRel <= 0 {
+		c.FactsPerRel = 1000
+	}
+	if c.ComponentSize <= 0 {
+		c.ComponentSize = 5
+	}
+	if c.Arity < 2 {
+		c.Arity = 2
+	}
+	if c.Blocks < 1 {
+		c.Blocks = 1
+	}
+}
+
+// Scenarios returns the eight synthetic scenarios of Figure 6 with the
+// paper's exact rule counts.
+func Scenarios() []Config {
+	mk := func(name string, lin, join, linRec, joinRec, exist, mixed, ward, noWard, harmful int) Config {
+		return Config{Name: name, Linear: lin, Join: join, LinearRec: linRec, JoinRec: joinRec,
+			Exist: exist, JoinMixed: mixed, JoinWard: ward, JoinNoWard: noWard, JoinHarmful: harmful, Seed: 11}
+	}
+	return []Config{
+		mk("synthA", 90, 10, 27, 3, 20, 5, 4, 1, 0),
+		mk("synthB", 10, 90, 3, 27, 20, 45, 40, 5, 0),
+		mk("synthC", 30, 70, 9, 20, 40, 25, 20, 5, 20),
+		mk("synthD", 30, 70, 9, 20, 22, 10, 9, 1, 50),
+		mk("synthE", 30, 70, 15, 40, 20, 35, 29, 1, 5),
+		mk("synthF", 30, 70, 25, 20, 50, 35, 29, 1, 5),
+		mk("synthG", 30, 70, 9, 21, 30, 0, 10, 60, 0),
+		mk("synthH", 30, 70, 9, 21, 30, 0, 60, 10, 0),
+	}
+}
+
+// Scenario looks a preset up by name (synthA..synthH).
+func Scenario(name string) (Config, bool) {
+	for _, c := range Scenarios() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Config{}, false
+}
+
+// Generated is the output of Generate: the program source and EDB.
+type Generated struct {
+	Config Config
+	Source string
+	Facts  []ast.Fact
+}
+
+// Generate builds the scenario program and data. The construction keeps
+// the program warded: nulls are injected by a linear existential rule into
+// a chain of "warded" predicates w_i(company, person-null, pads...),
+// propagated by ward joins along the EDB graph, and consumed by mixed and
+// harmful joins exactly as the join-category budget demands.
+func Generate(cfg Config) (*Generated, error) {
+	cfg.defaults()
+	if cfg.Join != cfg.JoinMixed+cfg.JoinWard+cfg.JoinNoWard+cfg.JoinHarmful {
+		return nil, fmt.Errorf("iwarded: join categories (%d) must sum to join rules (%d)",
+			cfg.JoinMixed+cfg.JoinWard+cfg.JoinNoWard+cfg.JoinHarmful, cfg.Join)
+	}
+	if cfg.JoinRec > cfg.Join {
+		return nil, fmt.Errorf("iwarded: recursive join rules (%d) exceed join rules (%d)", cfg.JoinRec, cfg.Join)
+	}
+	if cfg.LinearRec > cfg.Linear {
+		return nil, fmt.Errorf("iwarded: recursive linear rules (%d) exceed linear rules (%d)", cfg.LinearRec, cfg.Linear)
+	}
+	var sb strings.Builder
+	for b := 0; b < cfg.Blocks; b++ {
+		suffix := ""
+		if cfg.Blocks > 1 {
+			suffix = fmt.Sprintf("_b%d", b)
+		}
+		if err := genBlock(&sb, cfg, suffix); err != nil {
+			return nil, err
+		}
+	}
+	g := &Generated{Config: cfg, Source: sb.String()}
+	g.Facts = genFacts(cfg)
+	return g, nil
+}
+
+// plan is the deterministic budget allocation for one block.
+type plan struct {
+	needChain  bool
+	needFeeder bool
+
+	// Recursive joins per category (ward first, then mixed, harmful,
+	// noward). Non-ward recursive joins each need one linear seed rule.
+	recWard, recMixed, recHarmful, recNoWard int
+
+	// Existential rules per site.
+	existInjector int // the chain injector (1 when a chain exists)
+	existFill     int // plain linear copies turned into ∃ injectors
+	existCycle    int // recursive-cycle linear rules with ∃ heads
+	existJoin     int // join rules with an extra existential head column
+
+	anchor int // 1 when a recursive linear cycle exists
+	fill   int // plain linear copies
+}
+
+func makePlan(cfg Config) (plan, error) {
+	var p plan
+	p.needChain = cfg.JoinWard+cfg.JoinHarmful+cfg.JoinMixed > 0
+	p.needFeeder = cfg.JoinMixed > 0
+
+	// Distribute recursive joins: ward self-joins host recursion for free;
+	// the rest need one linear seed each.
+	rec := cfg.JoinRec
+	take := func(avail int) int {
+		n := min(rec, avail)
+		rec -= n
+		return n
+	}
+	p.recWard = take(cfg.JoinWard)
+	p.recMixed = take(cfg.JoinMixed)
+	p.recHarmful = take(cfg.JoinHarmful)
+	p.recNoWard = take(cfg.JoinNoWard)
+	if rec > 0 {
+		return p, fmt.Errorf("iwarded(%s): cannot host %d recursive joins", cfg.Name, rec)
+	}
+	seeds := p.recMixed + p.recHarmful + p.recNoWard
+
+	mandatory := seeds
+	if p.needChain {
+		mandatory++ // injector
+	}
+	if p.needFeeder {
+		mandatory++
+	}
+	if cfg.LinearRec > 0 {
+		p.anchor = 1
+	}
+	p.fill = cfg.Linear - mandatory - p.anchor - cfg.LinearRec
+	if p.fill < 0 {
+		return p, fmt.Errorf("iwarded(%s): linear budget %d too small (need %d plumbing + %d recursion)",
+			cfg.Name, cfg.Linear, mandatory, p.anchor+cfg.LinearRec)
+	}
+
+	exist := cfg.Exist
+	if p.needChain {
+		if exist == 0 {
+			return p, fmt.Errorf("iwarded(%s): warded joins need at least one existential rule", cfg.Name)
+		}
+		p.existInjector = 1
+		exist--
+	}
+	p.existFill = min(exist, p.fill)
+	exist -= p.existFill
+	p.existCycle = min(exist, cfg.LinearRec)
+	exist -= p.existCycle
+	p.existJoin = min(exist, cfg.Join)
+	exist -= p.existJoin
+	if exist > 0 {
+		return p, fmt.Errorf("iwarded(%s): existential budget exceeds hosting capacity by %d", cfg.Name, exist)
+	}
+	return p, nil
+}
+
+// genBlock emits one copy of the scenario into sb.
+func genBlock(sb *strings.Builder, cfg Config, sfx string) error {
+	p, err := makePlan(cfg)
+	if err != nil {
+		return err
+	}
+	ar := cfg.Arity
+	edb := func(i int) string { return fmt.Sprintf("e%d%s", i%cfg.EDBRelations, sfx) }
+	w := func(i int) string { return fmt.Sprintf("w%d%s", i, sfx) }
+	emit := func(format string, args ...any) {
+		fmt.Fprintf(sb, format, args...)
+		sb.WriteByte('\n')
+	}
+	// pads(prefix) renders pass-through columns for positions ≥ 2.
+	pads := func(prefix string) string {
+		var ps []string
+		for i := 2; i < ar; i++ {
+			ps = append(ps, fmt.Sprintf("%s%d", prefix, i))
+		}
+		if len(ps) == 0 {
+			return ""
+		}
+		return "," + strings.Join(ps, ",")
+	}
+	// extraAtoms chains additional EDB atoms onto a join body (Fig. 8c).
+	extraAtoms := func(startVar string) string {
+		var parts []string
+		cur := startVar
+		for i := 0; i < cfg.ExtraBodyAtoms; i++ {
+			next := fmt.Sprintf("X%d", i+10)
+			parts = append(parts, fmt.Sprintf("%s(%s,%s%s)", edb(i), cur, next, pads("M"+fmt.Sprint(i))))
+			cur = next
+		}
+		if len(parts) == 0 {
+			return ""
+		}
+		return ", " + strings.Join(parts, ", ")
+	}
+
+	if p.needChain {
+		emit("%s(X,Y%s) -> %s(X,P%s).", edb(0), pads("A"), w(0), pads("A"))
+	}
+	if p.needFeeder {
+		emit("%s(X,Y%s) -> %s(X,Y%s).", edb(1), pads("A"), w(0), pads("A"))
+	}
+
+	// Ward joins: recursive self-joins stay at their chain position,
+	// plain ones advance the chain, ∃-variants emit side predicates with
+	// an extra existential column.
+	existJoinLeft := p.existJoin
+	cur := 0
+	recLeft := p.recWard
+	for j := 0; j < cfg.JoinWard; j++ {
+		dir := "X,Y"
+		if j%2 == 1 {
+			dir = "Y,X"
+		}
+		switch {
+		case recLeft > 0:
+			emit("%s(X,P%s), %s(%s%s)%s -> %s(Y,P%s).",
+				w(cur), pads("A"), edb(j), dir, pads("B"), extraAtoms("Y"), w(cur), pads("A"))
+			recLeft--
+		case existJoinLeft > 0:
+			emit("%s(X,P%s), %s(%s%s)%s -> wz%d%s(Y,P,Q%s).",
+				w(cur), pads("A"), edb(j), dir, pads("B"), extraAtoms("Y"), j, sfx, pads("A"))
+			existJoinLeft--
+		default:
+			emit("%s(X,P%s), %s(%s%s)%s -> %s(Y,P%s).",
+				w(cur), pads("A"), edb(j), dir, pads("B"), extraAtoms("Y"), w(cur+1), pads("A"))
+			cur++
+		}
+	}
+	chain := cur + 1 // w0..w(cur) hold facts
+
+	// Harmful joins: adjacent chain predicates share nulls.
+	recLeft = p.recHarmful
+	for j := 0; j < cfg.JoinHarmful; j++ {
+		a := j % chain
+		b := (a + 1) % chain
+		switch {
+		case recLeft > 0:
+			emit("%s(X,Y%s) -> ghr%d%s(X,Y%s).", edb(j+1), pads("A"), j, sfx, pads("A")) // seed
+			emit("%s(X,P%s), %s(Y,P%s), ghr%d%s(Y,Z%s)%s -> ghr%d%s(X,Z%s).",
+				w(a), pads("A"), w(b), pads("B"), j, sfx, pads("C"), extraAtoms("Z"), j, sfx, pads("A"))
+			recLeft--
+		case existJoinLeft > 0:
+			emit("%s(X,P%s), %s(Y,P%s), X > Y%s -> ghz%d%s(X,Y,Q%s).",
+				w(a), pads("A"), w(b), pads("B"), extraAtoms("Y"), j, sfx, pads("A"))
+			existJoinLeft--
+		default:
+			emit("%s(X,P%s), %s(Y,P%s), X > Y%s -> gh%d%s(X,Y%s).",
+				w(a), pads("A"), w(b), pads("B"), extraAtoms("Y"), j, sfx, pads("A"))
+		}
+	}
+
+	// Mixed joins: the null position joined against a ground EDB column —
+	// fires only for the ground values the feeder pushed through.
+	recLeft = p.recMixed
+	for j := 0; j < cfg.JoinMixed; j++ {
+		a := j % chain
+		switch {
+		case recLeft > 0:
+			emit("%s(X,Y%s) -> gmr%d%s(X,Y%s).", edb(j+1), pads("A"), j, sfx, pads("A")) // seed
+			emit("%s(X,P%s), gmr%d%s(P,Z%s)%s -> gmr%d%s(X,Z%s).",
+				w(a), pads("A"), j, sfx, pads("B"), extraAtoms("Z"), j, sfx, pads("A"))
+			recLeft--
+		case existJoinLeft > 0:
+			emit("%s(X,P%s), %s(P,Z%s)%s -> gmz%d%s(X,Z,Q%s).",
+				w(a), pads("A"), edb(j+1), pads("B"), extraAtoms("Z"), j, sfx, pads("A"))
+			existJoinLeft--
+		default:
+			emit("%s(X,P%s), %s(P,Z%s)%s -> gm%d%s(X,Z%s).",
+				w(a), pads("A"), edb(j+1), pads("B"), extraAtoms("Z"), j, sfx, pads("A"))
+		}
+	}
+
+	// Harmless joins without ward: ground joins over the EDB.
+	recLeft = p.recNoWard
+	for j := 0; j < cfg.JoinNoWard; j++ {
+		switch {
+		case recLeft > 0:
+			emit("%s(X,Y%s) -> gnr%d%s(X,Y%s).", edb(j+1), pads("A"), j, sfx, pads("A")) // seed
+			emit("gnr%d%s(X,Y%s), %s(Y,Z%s)%s -> gnr%d%s(X,Z%s).",
+				j, sfx, pads("A"), edb(j), pads("B"), extraAtoms("Z"), j, sfx, pads("A"))
+			recLeft--
+		case existJoinLeft > 0:
+			emit("%s(X,Y%s), %s(Y,Z%s)%s -> wn%d%s(X,Q%s).",
+				edb(j), pads("A"), edb(j+1), pads("B"), extraAtoms("Z"), j, sfx, pads("A"))
+			existJoinLeft--
+		default:
+			emit("%s(X,Y%s), %s(Y,Z%s)%s -> gn%d%s(X,Z%s).",
+				edb(j), pads("A"), edb(j+1), pads("B"), extraAtoms("Z"), j, sfx, pads("A"))
+		}
+	}
+
+	// Recursive linear cycle: anchor copy feeding a cycle of LinearRec
+	// rules closed back on the anchor predicate; ∃-cycle rules generate
+	// fresh nulls (the SynthF stressor, cut by the termination strategy).
+	if cfg.LinearRec > 0 {
+		emit("%s(X,Y%s) -> cyc0%s(X,Y%s).", edb(0), pads("A"), sfx, pads("A")) // anchor
+		existCycleLeft := p.existCycle
+		for j := 0; j < cfg.LinearRec; j++ {
+			from := fmt.Sprintf("cyc%d%s", j, sfx)
+			to := fmt.Sprintf("cyc%d%s", (j+1)%cfg.LinearRec, sfx)
+			if existCycleLeft > 0 {
+				emit("%s(X,Y%s) -> %s(X,Q%s).", from, pads("A"), to, pads("A"))
+				existCycleLeft--
+			} else {
+				emit("%s(X,Y%s) -> %s(Y,X%s).", from, pads("A"), to, pads("A"))
+			}
+		}
+	}
+
+	// Fill: plain copies, ∃ injector copies first.
+	existFillLeft := p.existFill
+	for c := 0; c < p.fill; c++ {
+		if existFillLeft > 0 {
+			emit("%s(X,Y%s) -> wc%d%s(X,P%s).", edb(c), pads("A"), c, sfx, pads("A"))
+			existFillLeft--
+		} else {
+			emit("%s(X,Y%s) -> gc%d%s(Y,X%s).", edb(c), pads("A"), c, sfx, pads("A"))
+		}
+	}
+	return nil
+}
+
+// genFacts builds the EDB: each relation is a union of small random
+// components (bounded reachability keeps null propagation local), with
+// pad columns repeating the source node.
+func genFacts(cfg Config) []ast.Fact {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var facts []ast.Fact
+	// All relations of a block share one node space so cross-relation
+	// joins (mixed, noward, extra atoms) actually match; components keep
+	// reachability local.
+	node := func(i int) term.Value { return term.String(fmt.Sprintf("n%d", i)) }
+	for b := 0; b < cfg.Blocks; b++ {
+		sfx := ""
+		if cfg.Blocks > 1 {
+			sfx = fmt.Sprintf("_b%d", b)
+		}
+		for r := 0; r < cfg.EDBRelations; r++ {
+			pred := fmt.Sprintf("e%d%s", r, sfx)
+			for k := 0; k < cfg.FactsPerRel; k++ {
+				comp := k / cfg.ComponentSize
+				u := comp*cfg.ComponentSize + rng.Intn(cfg.ComponentSize)
+				v := comp*cfg.ComponentSize + rng.Intn(cfg.ComponentSize)
+				args := []term.Value{node(u), node(v)}
+				for len(args) < cfg.Arity {
+					args = append(args, node(u))
+				}
+				facts = append(facts, ast.Fact{Pred: pred, Args: args})
+			}
+		}
+	}
+	return facts
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

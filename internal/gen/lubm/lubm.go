@@ -1,0 +1,189 @@
+// Package lubm generates a LUBM-style university-domain benchmark (paper
+// Sec. 6.5): a parametric instance generator with the documented LUBM
+// ratios (departments per university, professors, students, courses,
+// publications), an OWL-2-QL-style ontology rendered as warded Datalog±
+// rules (class/property hierarchy, inverse and transitive properties,
+// existential axioms), and the 14 LUBM queries over this vocabulary.
+package lubm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ast"
+	"repro/internal/term"
+)
+
+// Ontology is the rule set: subclass and subproperty axioms, domain/range
+// typing, transitive subOrganizationOf, and the existential axioms that
+// make the task properly ontological (every professor has a degree-
+// granting university; every student has an advisor).
+const Ontology = `
+	fullProfessor(X) -> professor(X).
+	associateProfessor(X) -> professor(X).
+	assistantProfessor(X) -> professor(X).
+	lecturer(X) -> faculty(X).
+	professor(X) -> faculty(X).
+	faculty(X) -> person(X).
+	undergraduateStudent(X) -> student(X).
+	graduateStudent(X) -> student(X).
+	student(X) -> person(X).
+	university(X) -> organization(X).
+	department(X) -> organization(X).
+	researchGroup(X) -> organization(X).
+	graduateCourse(X) -> course(X).
+
+	headOf(X,Y) -> worksFor(X,Y).
+	worksFor(X,Y) -> memberOf(X,Y).
+	memberOf(X,Y) -> affiliatedWith(Y,X).
+	subOrganizationOf(X,Y), subOrganizationOf(Y,Z) -> subOrganizationOf(X,Z).
+	memberOf(X,D), subOrganizationOf(D,U) -> memberOfOrg(X,U).
+
+	teacherOf(X,C) -> taughtBy(C,X).
+	takesCourse(S,C), taughtBy(C,P) -> hasStudent(P,S).
+	advisorOf(P,S) -> hasAdvisor(S,P).
+
+	professor(X) -> degreeFrom(X, U).
+	degreeFrom(X,U) -> hasAlumnus(U,X).
+	graduateStudent(X) -> hasAdvisor(X, A).
+	publicationAuthor(Pub,A) -> authorOf(A,Pub).
+`
+
+// Queries returns the 14 LUBM queries restated over this vocabulary.
+func Queries() []string {
+	qs := []string{
+		// Q1: graduate students taking a specific course.
+		`takesCourse(X, c0_d0_u0) , graduateStudent(X) -> q1(X).`,
+		// Q2: graduate students with degree from the university of their department.
+		`graduateStudent(X), memberOf(X,D), subOrganizationOf(D,U), degreeFrom(X,U) -> q2(X,U).`,
+		// Q3: publications of a specific professor.
+		`authorOf(p0_d0_u0, Pub) -> q3(Pub).`,
+		// Q4: professors working for a department with name/email (projected).
+		`professor(X), worksFor(X, d0_u0) -> q4(X).`,
+		// Q5: members of a department.
+		`memberOf(X, d0_u0) -> q5(X).`,
+		// Q6: all students.
+		`student(X) -> q6(X).`,
+		// Q7: students taking courses taught by a professor.
+		`takesCourse(X,C), teacherOf(p0_d0_u0, C) -> q7(X,C).`,
+		// Q8: students member of departments of a university.
+		`student(X), memberOf(X,D), subOrganizationOf(D, u0) -> q8(X,D).`,
+		// Q9: students whose advisor teaches a course they take.
+		`hasAdvisor(X,P), teacherOf(P,C), takesCourse(X,C) -> q9(X,C).`,
+		// Q10: students taking a graduate course.
+		`takesCourse(X,C), graduateCourse(C) -> q10(X).`,
+		// Q11: research groups of a university (transitive subOrganizationOf).
+		`researchGroup(X), subOrganizationOf(X, u0) -> q11(X).`,
+		// Q12: heads of departments of a university.
+		`headOf(X,D), department(D), subOrganizationOf(D, u0) -> q12(X,D).`,
+		// Q13: alumni of a university.
+		`hasAlumnus(u0, X) -> q13(X).`,
+		// Q14: all undergraduate students.
+		`undergraduateStudent(X) -> q14(X).`,
+	}
+	for i := range qs {
+		qs[i] = qs[i] + fmt.Sprintf("\n@output(%q).\n", fmt.Sprintf("q%d", i+1))
+	}
+	return qs
+}
+
+// Config scales the instance.
+type Config struct {
+	Universities int
+	Seed         int64
+}
+
+// Generate produces the instance: LUBM's documented ratios are 15-25
+// departments per university, 7-10 full + 10-14 associate + 8-11
+// assistant professors per department, undergrads ~4x grads, 10-20
+// courses per department, and 8-14 undergrad courses per student.
+// The generator uses fixed midpoints for reproducibility.
+func Generate(cfg Config) []ast.Fact {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var facts []ast.Fact
+	add := func(pred string, args ...term.Value) {
+		facts = append(facts, ast.NewFact(pred, args...))
+	}
+	for u := 0; u < cfg.Universities; u++ {
+		uni := term.String(fmt.Sprintf("u%d", u))
+		add("university", uni)
+		nDept := 15 + rng.Intn(5)
+		for d := 0; d < nDept; d++ {
+			dept := term.String(fmt.Sprintf("d%d_u%d", d, u))
+			add("department", dept)
+			add("subOrganizationOf", dept, uni)
+			rg := term.String(fmt.Sprintf("rg%d_u%d", d, u))
+			add("researchGroup", rg)
+			add("subOrganizationOf", rg, dept)
+
+			// Faculty.
+			nProf := 0
+			prof := func(kind string, n int) []term.Value {
+				out := make([]term.Value, 0, n)
+				for i := 0; i < n; i++ {
+					p := term.String(fmt.Sprintf("p%d_%s", nProf, dept.Str()))
+					nProf++
+					add(kind, p)
+					add("worksFor", p, dept)
+					out = append(out, p)
+				}
+				return out
+			}
+			fulls := prof("fullProfessor", 8)
+			prof("associateProfessor", 10)
+			assts := prof("assistantProfessor", 8)
+			add("headOf", fulls[0], dept)
+
+			// Courses taught by faculty.
+			nCourses := 12 + rng.Intn(4)
+			var courses, gradCourses []term.Value
+			for c := 0; c < nCourses; c++ {
+				co := term.String(fmt.Sprintf("c%d_%s", c, dept.Str()))
+				if c%3 == 0 {
+					add("graduateCourse", co)
+					gradCourses = append(gradCourses, co)
+				} else {
+					add("course", co)
+					courses = append(courses, co)
+				}
+				teacher := fulls[c%len(fulls)]
+				if c%2 == 1 {
+					teacher = assts[c%len(assts)]
+				}
+				add("teacherOf", teacher, co)
+			}
+
+			// Students.
+			nGrad := 12 + rng.Intn(4)
+			nUndergrad := nGrad * 4
+			for s := 0; s < nGrad; s++ {
+				st := term.String(fmt.Sprintf("gs%d_%s", s, dept.Str()))
+				add("graduateStudent", st)
+				add("memberOf", st, dept)
+				add("advisorOf", fulls[s%len(fulls)], st)
+				add("degreeFrom", st, uni)
+				for k := 0; k < 2 && len(gradCourses) > 0; k++ {
+					add("takesCourse", st, gradCourses[(s+k)%len(gradCourses)])
+				}
+			}
+			for s := 0; s < nUndergrad; s++ {
+				st := term.String(fmt.Sprintf("us%d_%s", s, dept.Str()))
+				add("undergraduateStudent", st)
+				add("memberOf", st, dept)
+				for k := 0; k < 3 && len(courses) > 0; k++ {
+					add("takesCourse", st, courses[(s+k)%len(courses)])
+				}
+			}
+
+			// Publications by faculty.
+			for pb := 0; pb < 10; pb++ {
+				pub := term.String(fmt.Sprintf("pub%d_%s", pb, dept.Str()))
+				add("publicationAuthor", pub, fulls[pb%len(fulls)])
+			}
+		}
+	}
+	return facts
+}
+
+// Size estimates the facts per university (for scaling tables).
+const FactsPerUniversity = 5200

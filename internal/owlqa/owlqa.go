@@ -1,0 +1,183 @@
+// Package owlqa implements the ontological-reasoning layer the paper
+// motivates in requirement (2) of the introduction: Warded Datalog±
+// generalizes the OWL 2 QL profile (via TriQ-Lite 1.0, [32] in the
+// paper), so OWL 2 QL ontologies translate into warded rules and SPARQL-
+// style conjunctive queries evaluate under the entailment regime by plain
+// reasoning. This package provides the axiom model, the translation to
+// Vadalog rules, and an ABox loader for triple data.
+//
+// Supported axioms (the OWL 2 QL core):
+//
+//	SubClassOf(C, D)                  C(x) → D(x)
+//	SubClassOfSome(C, R, D)           C(x) → ∃y R(x,y) ∧ D(y)
+//	SomeSubClassOf(R, C)              R(x,y) → C(x)          (∃R ⊑ C, domain)
+//	SomeInvSubClassOf(R, C)           R(x,y) → C(y)          (∃R⁻ ⊑ C, range)
+//	SubPropertyOf(R, S)               R(x,y) → S(x,y)
+//	InverseOf(R, S)                   R(x,y) ↔ S(y,x)
+//	SymmetricProperty(R)              R(x,y) → R(y,x)
+//	TransitiveProperty(R)             R(x,y), R(y,z) → R(x,z)   (QL⁺ extension)
+//	DisjointClasses(C, D)             C(x), D(x) → ⊥
+//	DisjointProperties(R, S)          R(x,y), S(x,y) → ⊥
+//	ReflexiveOnClass(R, C)            C(x) → R(x,x)
+//
+// Classes become unary predicates, properties binary predicates. The
+// translation is warded by construction: the only existential axiom,
+// SubClassOfSome, is a linear rule.
+package owlqa
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+// AxiomKind enumerates the supported axiom forms.
+type AxiomKind int
+
+// Axiom kinds.
+const (
+	SubClassOf AxiomKind = iota
+	SubClassOfSome
+	SomeSubClassOf
+	SomeInvSubClassOf
+	SubPropertyOf
+	InverseOf
+	SymmetricProperty
+	TransitiveProperty
+	DisjointClasses
+	DisjointProperties
+	ReflexiveOnClass
+)
+
+// Axiom is one ontology axiom; the meaning of the fields depends on Kind
+// (see the package comment).
+type Axiom struct {
+	Kind    AxiomKind
+	S, P, O string // subject / property / object names as applicable
+}
+
+// Ontology is a set of axioms (the TBox).
+type Ontology struct {
+	Axioms []Axiom
+}
+
+// Add appends an axiom and returns the ontology for chaining.
+func (o *Ontology) Add(kind AxiomKind, names ...string) *Ontology {
+	a := Axiom{Kind: kind}
+	switch len(names) {
+	case 1:
+		a.S = names[0]
+	case 2:
+		a.S, a.O = names[0], names[1]
+	case 3:
+		a.S, a.P, a.O = names[0], names[1], names[2]
+	}
+	o.Axioms = append(o.Axioms, a)
+	return o
+}
+
+// normalize lower-cases the first rune so names are valid Vadalog
+// predicates.
+func normalize(name string) string {
+	if name == "" {
+		return name
+	}
+	return strings.ToLower(name[:1]) + name[1:]
+}
+
+// Rules renders the ontology as Vadalog source text.
+func (o *Ontology) Rules() (string, error) {
+	var sb strings.Builder
+	for i, a := range o.Axioms {
+		s, p, obj := normalize(a.S), normalize(a.P), normalize(a.O)
+		switch a.Kind {
+		case SubClassOf:
+			fmt.Fprintf(&sb, "%s(X) -> %s(X).\n", s, obj)
+		case SubClassOfSome:
+			fmt.Fprintf(&sb, "%s(X) -> %s(X, Y), %s(Y).\n", s, p, obj)
+		case SomeSubClassOf:
+			fmt.Fprintf(&sb, "%s(X, Y) -> %s(X).\n", s, obj)
+		case SomeInvSubClassOf:
+			fmt.Fprintf(&sb, "%s(X, Y) -> %s(Y).\n", s, obj)
+		case SubPropertyOf:
+			fmt.Fprintf(&sb, "%s(X, Y) -> %s(X, Y).\n", s, obj)
+		case InverseOf:
+			fmt.Fprintf(&sb, "%s(X, Y) -> %s(Y, X).\n", s, obj)
+			fmt.Fprintf(&sb, "%s(X, Y) -> %s(Y, X).\n", obj, s)
+		case SymmetricProperty:
+			fmt.Fprintf(&sb, "%s(X, Y) -> %s(Y, X).\n", s, s)
+		case TransitiveProperty:
+			fmt.Fprintf(&sb, "%s(X, Y), %s(Y, Z) -> %s(X, Z).\n", s, s, s)
+		case DisjointClasses:
+			fmt.Fprintf(&sb, "%s(X), %s(X) -> #fail.\n", s, obj)
+		case DisjointProperties:
+			fmt.Fprintf(&sb, "%s(X, Y), %s(X, Y) -> #fail.\n", s, obj)
+		case ReflexiveOnClass:
+			fmt.Fprintf(&sb, "%s(X) -> %s(X, X).\n", obj, s)
+		default:
+			return "", fmt.Errorf("owlqa: axiom %d has unknown kind %d", i, a.Kind)
+		}
+	}
+	return sb.String(), nil
+}
+
+// Program parses the translated rules (plus optional extra source such as
+// queries) into a Vadalog program.
+func (o *Ontology) Program(extra string) (*ast.Program, error) {
+	rules, err := o.Rules()
+	if err != nil {
+		return nil, err
+	}
+	return parser.Parse(rules + extra)
+}
+
+// Triple is one ABox assertion: either a class assertion (P == "a") or a
+// property assertion.
+type Triple struct {
+	S, P, O string
+}
+
+// ABoxFacts converts triples to facts: (s, a, C) becomes C(s); (s, R, o)
+// becomes R(s, o).
+func ABoxFacts(triples []Triple) []ast.Fact {
+	out := make([]ast.Fact, 0, len(triples))
+	for _, t := range triples {
+		if t.P == "a" || strings.EqualFold(t.P, "rdf:type") {
+			out = append(out, ast.NewFact(normalize(t.O), term.String(t.S)))
+			continue
+		}
+		out = append(out, ast.NewFact(normalize(t.P), term.String(t.S), term.String(t.O)))
+	}
+	return out
+}
+
+// ParseTurtleLike reads a minimal triple syntax: one `s p o .` statement
+// per line, `a` as the class-membership keyword, `#` comments. It exists
+// so examples and tests can load ABoxes from text.
+func ParseTurtleLike(src string) ([]Triple, error) {
+	var out []Triple
+	for ln, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		line = strings.TrimSuffix(line, ".")
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("owlqa: line %d: want `s p o .`, got %q", ln+1, line)
+		}
+		out = append(out, Triple{S: fields[0], P: fields[1], O: fields[2]})
+	}
+	return out, nil
+}
+
+// Example1Spouse returns the introduction's Example 1 as an ontology-ish
+// rule: the Spouse relation over quintuples is symmetric in its first two
+// arguments — the MARS-style higher-arity reasoning most ontology
+// languages cannot express but Vadalog can.
+const Example1Spouse = `
+	spouse(X, Y, Start, Loc, End) -> spouse(Y, X, Start, Loc, End).
+`

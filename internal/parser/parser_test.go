@@ -1,0 +1,266 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/term"
+)
+
+func TestParseBasicRule(t *testing.T) {
+	r, err := ParseRule(`own(X,Y,W), W > 0.5 -> control(X,Y).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Body) != 1 || r.Body[0].Pred != "own" {
+		t.Fatalf("body: %v", r.Body)
+	}
+	if len(r.Conds) != 1 || r.Conds[0].Op != ast.CmpGt {
+		t.Fatalf("conds: %v", r.Conds)
+	}
+	if len(r.Heads) != 1 || r.Heads[0].Pred != "control" {
+		t.Fatalf("heads: %v", r.Heads)
+	}
+}
+
+func TestParseExistential(t *testing.T) {
+	r, err := ParseRule(`company(X) -> keyPerson(P, X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := r.Existentials()
+	if len(ex) != 1 || ex[0] != "P" {
+		t.Fatalf("existentials: %v", ex)
+	}
+}
+
+func TestParseAggregate(t *testing.T) {
+	r, err := ParseRule(`control(X,Y), own(Y,Z,W), V = msum(W, <Y>), V > 0.5 -> control(X,Z).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Aggregate == nil || r.Aggregate.Func != "msum" || r.Aggregate.Result != "V" {
+		t.Fatalf("aggregate: %+v", r.Aggregate)
+	}
+	if len(r.Aggregate.Contributors) != 1 || r.Aggregate.Contributors[0] != "Y" {
+		t.Fatalf("contributors: %v", r.Aggregate.Contributors)
+	}
+}
+
+func TestParseConstraintAndEGD(t *testing.T) {
+	r, err := ParseRule(`own(X,X,W) -> #fail.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.IsConstraint {
+		t.Fatal("expected constraint")
+	}
+	r, err = ParseRule(`p(X,Y), p(X,Z) -> Y = Z.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EGD == nil || r.EGD.Left != "Y" || r.EGD.Right != "Z" {
+		t.Fatalf("egd: %+v", r.EGD)
+	}
+}
+
+func TestParseDomGuards(t *testing.T) {
+	r, err := ParseRule(`dom(*), p(X,Y) -> q(X,Y).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.UsesDom {
+		t.Fatal("dom(*) not recognized")
+	}
+	r, err = ParseRule(`dom(Y), p(X,Y) -> q(X,Y).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.DomVars) != 1 || r.DomVars[0] != "Y" {
+		t.Fatalf("dom vars: %v", r.DomVars)
+	}
+}
+
+func TestParseAnnotations(t *testing.T) {
+	prog, err := Parse(`
+		@input("own").
+		@output("control").
+		@bind("own","csv","/tmp/own.csv").
+		@post("control","orderBy",2).
+		@mapping("own","src","dst","w").
+		own(X,Y,W) -> control(X,Y).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prog.Inputs["own"] || !prog.Outputs["control"] {
+		t.Error("input/output lost")
+	}
+	if len(prog.Bindings) != 1 || prog.Bindings[0].Target != "/tmp/own.csv" {
+		t.Errorf("bindings: %v", prog.Bindings)
+	}
+	if len(prog.Posts) != 1 || prog.Posts[0].Arg != 2 {
+		t.Errorf("posts: %v", prog.Posts)
+	}
+	if len(prog.Mappings) != 1 || len(prog.Mappings[0].Columns) != 3 {
+		t.Errorf("mappings: %v", prog.Mappings)
+	}
+}
+
+func TestParseFacts(t *testing.T) {
+	prog, err := Parse(`
+		own(acme, subco, 0.7).
+		own("Quoted Co", other, -3).
+		flag(x, #t).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Facts) != 3 {
+		t.Fatalf("facts: %v", prog.Facts)
+	}
+	if prog.Facts[1].Args[0] != term.String("Quoted Co") {
+		t.Errorf("quoted: %v", prog.Facts[1])
+	}
+	if prog.Facts[1].Args[2] != term.Int(-3) {
+		t.Errorf("negative: %v", prog.Facts[1])
+	}
+	if prog.Facts[2].Args[1] != term.Bool(true) {
+		t.Errorf("bool: %v", prog.Facts[2])
+	}
+}
+
+func TestParseNegation(t *testing.T) {
+	r, err := ParseRule(`node(X), not bad(X) -> good(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Body[1].Negated {
+		t.Fatal("negation lost")
+	}
+}
+
+func TestParseExpressions(t *testing.T) {
+	r, err := ParseRule(`emp(N,S), T = S * 2 + 1 -> out(N, T).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := map[string]term.Value{"S": term.Int(10)}
+	v, err := r.Assignments[0].Expr.Eval(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != term.Int(21) {
+		t.Errorf("precedence: got %v want 21", v)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	r, err := ParseRule(`p(A,B,C), T = A + B * C -> q(T).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := map[string]term.Value{"A": term.Int(1), "B": term.Int(2), "C": term.Int(3)}
+	v, err := r.Assignments[0].Expr.Eval(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != term.Int(7) {
+		t.Errorf("1+2*3: got %v", v)
+	}
+}
+
+func TestParseSkolemCall(t *testing.T) {
+	r, err := ParseRule(`p(X), Z = #f(X, 1) -> q(Z).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, ok := r.Assignments[0].Expr.(ast.FuncExpr)
+	if !ok || !fe.IsSkolem() || fe.Name != "#f" {
+		t.Fatalf("skolem expr: %#v", r.Assignments[0].Expr)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`p(X) -> q(X)`,                    // missing dot
+		`p(X) q(X).`,                      // missing arrow
+		`p(X,) -> q(X).`,                  // trailing comma
+		`p(X) -> q(Y), Y = Z.`,            // EGD mixed with atoms
+		`-> q(a).`,                        // empty body is not a rule
+		`p(X), T = T + 1 -> q(T).`,        // self-referential assignment
+		`node(X), not bad(Y) -> good(X).`, // unsafe negation
+		`p(X), Y > 1 -> q(X).`,            // unbound condition var
+		`p("unterminated) -> q(X).`,       // bad string
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	prog, err := Parse(`
+		% a comment
+		p(X) -> q(X). % trailing comment
+		% final comment
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 1 {
+		t.Fatalf("rules: %d", len(prog.Rules))
+	}
+}
+
+func TestParseModulo(t *testing.T) {
+	r, err := ParseRule(`p(X), M = X %% 3 -> q(M).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := map[string]term.Value{"X": term.Int(10)}
+	v, err := r.Assignments[0].Expr.Eval(env)
+	if err != nil || v != term.Int(1) {
+		t.Errorf("10 %% 3: %v %v", v, err)
+	}
+}
+
+// TestRoundTrip parses, renders and reparses programs, checking the
+// rendered forms converge (String is a faithful printer).
+func TestRoundTrip(t *testing.T) {
+	srcs := []string{
+		`own(X,Y,W), W > 0.5 -> control(X,Y).`,
+		`company(X) -> keyPerson(P, X).`,
+		`p(X,Y), p(X,Z) -> Y = Z.`,
+		`own(X,X,W) -> #fail.`,
+		`node(X), not bad(X) -> good(X).`,
+		`dom(*), p(X,Y) -> q(X,Y).`,
+		`control(X,Y), own(Y,Z,W), V = msum(W, <Y>), V > 0.5 -> control(X,Z).`,
+	}
+	for _, src := range srcs {
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		rendered := p1.String()
+		p2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", rendered, err)
+		}
+		if got := p2.String(); got != rendered {
+			t.Errorf("round trip diverges:\n%s\nvs\n%s", rendered, got)
+		}
+	}
+}
+
+func TestArityMismatchRejected(t *testing.T) {
+	_, err := Parse(`
+		p(X) -> q(X).
+		p(X,Y) -> r(X).
+	`)
+	if err == nil || !strings.Contains(err.Error(), "arities") {
+		t.Fatalf("want arity error, got %v", err)
+	}
+}

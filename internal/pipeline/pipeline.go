@@ -1,0 +1,591 @@
+// Package pipeline implements the Vadalog system's production engine: the
+// pipe-and-filters architecture of paper Sec. 4. Rules compile into filter
+// nodes connected by pipes (an edge from filter a to filter b when a's
+// head unifies with an atom in b's body); reasoning is a pull (volcano)
+// data stream driven by the sinks. Filters poll their predecessors
+// round-robin; runtime invocation cycles are detected and reported as
+// cyclic misses (notifyCycle) distinct from real misses; each filter wraps
+// fact production in a termination-strategy wrapper running Algorithm 1.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/rewrite"
+	"repro/internal/storage"
+	"repro/internal/term"
+)
+
+// ErrInconsistent mirrors chase.ErrInconsistent for the pipeline engine.
+var ErrInconsistent = errors.New("pipeline: knowledge base is inconsistent")
+
+// ErrBudget is returned when the derivation budget is exceeded.
+var ErrBudget = errors.New("pipeline: derivation budget exceeded")
+
+// Options configures a pipeline session.
+type Options struct {
+	Rewrite        *rewrite.Options
+	DisableSummary bool
+	MaxDerivations int
+	RequireWarded  bool
+	// BufferCapacity bounds the buffer cache in (approximate) bytes;
+	// 0 disables eviction.
+	BufferCapacity int64
+	// NewPolicy overrides the termination policy (nil = the full strategy
+	// of Algorithm 1). Baselines live in internal/baseline.
+	NewPolicy func(*analysis.Result) core.Policy
+	// DisableDynamicIndex turns off the slot machine join's dynamic
+	// in-memory indexing (ablation): lookups scan.
+	DisableDynamicIndex bool
+}
+
+// stepResult is a filter's answer to a pull: it produced a fact, it cannot
+// right now because of a runtime cycle (cyclic miss), or it is dry (real
+// miss).
+type stepResult int
+
+const (
+	stepProduced stepResult = iota
+	stepCyclicMiss
+	stepDry
+)
+
+// Session is a compiled, loaded pipeline ready to stream results.
+type Session struct {
+	opts  Options
+	prog  *ast.Program
+	res   *analysis.Result
+	rw    *rewrite.Result
+	db    *storage.Database
+	strat core.Policy
+	mt    *eval.Matcher
+	subst *eval.NullSubst
+	bm    *storage.BufferManager
+
+	filters []*ruleFilter
+	hubs    map[string]*hub
+
+	derivations int
+	budget      int
+	failure     error
+	quiesced    bool
+}
+
+// hub is the meeting point of all producers of one predicate: the
+// predicate's buffered relation plus the filters feeding it.
+type hub struct {
+	pred      string
+	rel       *storage.Relation
+	producers []*ruleFilter
+	rr        int
+}
+
+// ruleFilter is one rule's filter node with its termination-strategy
+// wrapper state.
+type ruleFilter struct {
+	idx     int
+	cr      *eval.CompiledRule
+	binding *eval.Binding
+	agg     *eval.AggState
+	postAgg []eval.CCond
+
+	// cursors[i] counts facts of body atom i's relation already consumed
+	// as deltas.
+	cursors []int
+	rr      int
+	active  bool // on the current pull stack (runtime cycle detection)
+
+	produced int
+}
+
+// New compiles prog into a pipeline session. EDB facts are loaded with
+// Load or passed to Run.
+func New(prog *ast.Program, opts Options) (*Session, error) {
+	rwOpts := rewrite.DefaultOptions()
+	if opts.Rewrite != nil {
+		rwOpts = *opts.Rewrite
+	}
+	rw, err := rewrite.Apply(prog, rwOpts)
+	if err != nil {
+		return nil, err
+	}
+	res := analysis.Analyze(rw.Program)
+	if opts.RequireWarded && !res.Warded {
+		return nil, fmt.Errorf("pipeline: program is not warded: %s", strings.Join(res.Violations, "; "))
+	}
+	s := &Session{
+		opts:   opts,
+		prog:   rw.Program,
+		res:    res,
+		rw:     rw,
+		db:     storage.NewDatabase(),
+		subst:  eval.NewNullSubst(),
+		hubs:   make(map[string]*hub),
+		budget: opts.MaxDerivations,
+		bm:     storage.NewBufferManager(opts.BufferCapacity),
+	}
+	if s.budget <= 0 {
+		s.budget = 10_000_000
+	}
+	if opts.NewPolicy != nil {
+		s.strat = opts.NewPolicy(res)
+	} else {
+		full := core.NewStrategy(res)
+		full.DisableSummary = opts.DisableSummary
+		s.strat = full
+	}
+	if opts.DisableDynamicIndex {
+		s.db.DisableIndexes()
+	}
+	s.mt = &eval.Matcher{DB: s.db, OnIndexProbe: func(pred string) { s.bm.Touch(pred) }}
+
+	preds, err := rw.Program.Predicates()
+	if err != nil {
+		return nil, err
+	}
+	for pred, arity := range preds {
+		rel := s.db.Rel(pred, arity)
+		s.hubs[pred] = &hub{pred: pred, rel: rel}
+		s.bm.Register(pred, rel)
+	}
+	for i, r := range rw.Program.Rules {
+		cr, err := eval.Compile(r, res.Rules[i])
+		if err != nil {
+			return nil, err
+		}
+		if len(cr.Pos) == 0 {
+			return nil, fmt.Errorf("pipeline: rule %d has no positive body atom: %s", r.ID, r.String())
+		}
+		f := &ruleFilter{
+			idx:     i,
+			cr:      cr,
+			binding: eval.NewBinding(cr),
+			cursors: make([]int, len(cr.Pos)),
+		}
+		if r.Aggregate != nil {
+			f.agg = eval.NewAggState(r.Aggregate.Func)
+			for _, c := range cr.Conds {
+				for _, d := range c.Deps {
+					if d == cr.Agg.ResultSlot {
+						f.postAgg = append(f.postAgg, c)
+						break
+					}
+				}
+			}
+		}
+		s.filters = append(s.filters, f)
+		switch {
+		case r.IsConstraint, r.EGD != nil:
+			// Constraint and EGD filters are side-effect sinks: attach them
+			// as producers of a synthetic hub so sweeps drive them.
+			sink := s.hubs["#constraints"]
+			if sink == nil {
+				sink = &hub{pred: "#constraints", rel: s.db.Rel("#constraints", 1)}
+				s.hubs["#constraints"] = sink
+			}
+			sink.producers = append(sink.producers, f)
+		default:
+			h := s.hubs[r.Heads[0].Pred]
+			h.producers = append(h.producers, f)
+		}
+	}
+	return s, nil
+}
+
+// Load admits EDB facts into the pipeline's source relations. Loading
+// after the pipeline has quiesced resumes it: new facts can enable new
+// derivations (incremental reasoning).
+func (s *Session) Load(facts ...ast.Fact) {
+	for _, f := range facts {
+		rel := s.db.Rel(f.Pred, len(f.Args))
+		if rel.Contains(f) {
+			continue
+		}
+		s.db.InsertEDB(f, s.strat)
+		s.derivations++
+		s.insertTagTwin(f)
+		if s.hubs[f.Pred] == nil {
+			s.hubs[f.Pred] = &hub{pred: f.Pred, rel: rel}
+		}
+		s.quiesced = false
+	}
+}
+
+func (s *Session) insertTagTwin(f ast.Fact) {
+	twin, ok := s.rw.TagPreds[f.Pred]
+	if !ok {
+		return
+	}
+	args := make([]term.Value, len(f.Args))
+	for i, v := range f.Args {
+		if v.IsNull() {
+			args[i] = term.String("\x00" + s.db.Nulls.KeyOf(v))
+		} else {
+			args[i] = v
+		}
+	}
+	tf := ast.Fact{Pred: twin, Args: args}
+	rel := s.db.Rel(twin, len(args))
+	if rel.Contains(tf) {
+		return
+	}
+	rel.Insert(s.strat.NewEDBFact(tf))
+	if s.hubs[twin] == nil {
+		s.hubs[twin] = &hub{pred: twin, rel: rel}
+	}
+}
+
+// Next ensures at least n+1 facts of pred exist, pulling through the
+// pipeline on demand (the volcano next() of the paper). It returns false
+// on a real miss: no further facts of pred can be derived.
+func (s *Session) Next(pred string, n int) (ast.Fact, bool, error) {
+	h := s.hubs[pred]
+	if h == nil {
+		return ast.Fact{}, false, nil
+	}
+	for h.rel.Len() <= n {
+		if s.failure != nil {
+			return ast.Fact{}, false, s.failure
+		}
+		if s.quiesced {
+			return ast.Fact{}, false, nil
+		}
+		if !s.pull(h) {
+			// All producers report dry or cyclic: one global sweep decides
+			// whether the cycles can still be fed (real-miss detection).
+			if !s.sweep() {
+				s.quiesced = s.allQuiesced()
+				if h.rel.Len() <= n {
+					return ast.Fact{}, false, s.failure
+				}
+			}
+		}
+	}
+	return h.rel.At(n).Fact, true, s.failure
+}
+
+// pull polls h's producers round-robin; it reports whether some producer
+// delivered a new fact for h.
+func (s *Session) pull(h *hub) bool {
+	if len(h.producers) == 0 {
+		return false
+	}
+	before := h.rel.Len()
+	for k := 0; k < len(h.producers); k++ {
+		p := h.producers[(h.rr+k)%len(h.producers)]
+		res := s.step(p)
+		if res == stepProduced && h.rel.Len() > before {
+			h.rr = (h.rr + k + 1) % len(h.producers)
+			return true
+		}
+	}
+	return h.rel.Len() > before
+}
+
+// step asks filter f to produce at least one new admitted fact. It first
+// drains already-available deltas (facts its body relations hold beyond
+// its cursors), then pulls its predecessor hubs recursively. Runtime
+// cycles surface as cyclic misses via the active flag (notifyCycle).
+func (s *Session) step(f *ruleFilter) stepResult {
+	if f.active {
+		return stepCyclicMiss
+	}
+	f.active = true
+	defer func() { f.active = false }()
+
+	sawCyclic := false
+	for rounds := 0; rounds < len(f.cr.Pos)+1; rounds++ {
+		// Round-robin over body atoms, preferring available deltas.
+		for k := 0; k < len(f.cr.Pos); k++ {
+			i := (f.rr + k) % len(f.cr.Pos)
+			rel := s.db.Rel(f.cr.Pos[i].Pred, f.cr.Pos[i].Arity())
+			for f.cursors[i] < rel.Len() {
+				m := rel.At(f.cursors[i])
+				f.cursors[i]++
+				got, err := s.fire(f, i, m)
+				if err != nil {
+					s.failure = err
+					return stepDry
+				}
+				if got > 0 {
+					f.rr = i
+					return stepProduced
+				}
+			}
+		}
+		// No deltas left: pull each predecessor hub once.
+		progressed := false
+		for k := 0; k < len(f.cr.Pos); k++ {
+			i := (f.rr + k) % len(f.cr.Pos)
+			ph := s.hubs[f.cr.Pos[i].Pred]
+			if ph == nil {
+				continue
+			}
+			if s.pullGuarded(ph, &sawCyclic) {
+				progressed = true
+				break
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	if sawCyclic {
+		return stepCyclicMiss
+	}
+	return stepDry
+}
+
+// pullGuarded polls ph's producers, recording cyclic misses.
+func (s *Session) pullGuarded(ph *hub, sawCyclic *bool) bool {
+	before := ph.rel.Len()
+	for k := 0; k < len(ph.producers); k++ {
+		p := ph.producers[(ph.rr+k)%len(ph.producers)]
+		switch s.step(p) {
+		case stepProduced:
+			ph.rr = (ph.rr + k + 1) % len(ph.producers)
+			return true
+		case stepCyclicMiss:
+			*sawCyclic = true
+		}
+	}
+	return ph.rel.Len() > before
+}
+
+// sweep runs every filter once over its available deltas (no recursive
+// pulls); it reports whether anything new was admitted. A full sweep with
+// no progress turns outstanding cyclic misses into real misses.
+func (s *Session) sweep() bool {
+	progress := false
+	for _, f := range s.filters {
+		if f.active {
+			continue
+		}
+		for i := range f.cr.Pos {
+			rel := s.db.Rel(f.cr.Pos[i].Pred, f.cr.Pos[i].Arity())
+			for f.cursors[i] < rel.Len() {
+				m := rel.At(f.cursors[i])
+				f.cursors[i]++
+				got, err := s.fire(f, i, m)
+				if err != nil {
+					s.failure = err
+					return false
+				}
+				if got > 0 {
+					progress = true
+				}
+			}
+		}
+	}
+	return progress
+}
+
+func (s *Session) allQuiesced() bool {
+	for _, f := range s.filters {
+		for i := range f.cr.Pos {
+			rel := s.db.Lookup(f.cr.Pos[i].Pred)
+			if rel != nil && f.cursors[i] < rel.Len() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// fire evaluates filter f with body atom pos pinned to delta m, admitting
+// any derived head facts; it returns how many facts were admitted.
+func (s *Session) fire(f *ruleFilter, pos int, m *core.FactMeta) (int, error) {
+	admitted := 0
+	err := s.mt.MatchPinned(f.cr, pos, m, f.binding, func(b *eval.Binding) error {
+		n, err := s.emit(f, b)
+		admitted += n
+		return err
+	})
+	return admitted, err
+}
+
+func (s *Session) emit(f *ruleFilter, b *eval.Binding) (int, error) {
+	cr := f.cr
+	rule := cr.Rule
+	switch {
+	case rule.IsConstraint:
+		return 0, fmt.Errorf("%w: constraint fired: %s", ErrInconsistent, rule.String())
+	case rule.EGD != nil:
+		l := b.Vals[cr.VarSlot[rule.EGD.Left]]
+		r := b.Vals[cr.VarSlot[rule.EGD.Right]]
+		if err := s.subst.Unify(l, r); err != nil {
+			return 0, fmt.Errorf("%w: %v (egd %s)", ErrInconsistent, err, rule.String())
+		}
+		return 0, nil
+	}
+	if cr.Agg != nil {
+		group := make([]term.Value, len(cr.Agg.GroupSlots))
+		for i, sl := range cr.Agg.GroupSlots {
+			group[i] = b.Vals[sl]
+		}
+		contrib := make([]term.Value, len(cr.Agg.ContribSlots))
+		for i, sl := range cr.Agg.ContribSlots {
+			contrib[i] = b.Vals[sl]
+		}
+		var x term.Value
+		if cr.Agg.ArgSlot >= 0 {
+			x = b.Vals[cr.Agg.ArgSlot]
+		} else {
+			env := map[string]term.Value{}
+			for v, sl := range cr.VarSlot {
+				if b.Bound[sl] {
+					env[v] = b.Vals[sl]
+				}
+			}
+			var err error
+			x, err = cr.Agg.Arg.Eval(env)
+			if err != nil {
+				return 0, err
+			}
+		}
+		agg, err := f.agg.Update(group, contrib, x)
+		if err != nil {
+			return 0, err
+		}
+		b.Vals[cr.Agg.ResultSlot] = agg
+		b.Bound[cr.Agg.ResultSlot] = true
+		for i := range f.postAgg {
+			c := &f.postAgg[i]
+			if c.Fast {
+				if !c.EvalFast(b.Vals) {
+					return 0, nil
+				}
+				continue
+			}
+			env := map[string]term.Value{rule.Aggregate.Result: agg}
+			for v, sl := range cr.VarSlot {
+				if b.Bound[sl] {
+					env[v] = b.Vals[sl]
+				}
+			}
+			ok, err := ast.EvalCondition(c.Cond, env)
+			if err != nil {
+				return 0, err
+			}
+			if !ok {
+				return 0, nil
+			}
+		}
+	}
+	s.mt.InstantiateExistentials(cr, b)
+	heads, err := eval.HeadFacts(cr, b, s.subst)
+	if err != nil {
+		return 0, err
+	}
+	parents := eval.WardFirstParents(cr, b)
+	admitted := 0
+	for _, hf := range heads {
+		ok, err := s.admit(hf, rule.ID, parents)
+		if err != nil {
+			return admitted, err
+		}
+		if ok {
+			admitted++
+			f.produced++
+		}
+	}
+	return admitted, nil
+}
+
+func (s *Session) admit(hf ast.Fact, ruleID int, parents []*core.FactMeta) (bool, error) {
+	rel := s.db.Rel(hf.Pred, len(hf.Args))
+	if rel.Contains(hf) {
+		return false, nil
+	}
+	m := s.strat.Derive(hf, ruleID, parents)
+	if !s.strat.CheckTermination(m) {
+		return false, nil
+	}
+	if s.derivations >= s.budget {
+		return false, fmt.Errorf("%w (%d facts)", ErrBudget, s.derivations)
+	}
+	rel.Insert(m)
+	s.derivations++
+	s.bm.Touch(hf.Pred)
+	s.insertTagTwin(hf)
+	return true, nil
+}
+
+// Drain materializes the complete reasoning result (all output predicates
+// to exhaustion, constraints and EGDs enforced). It is the batch entry
+// point; the streaming API is Next.
+func (s *Session) Drain() error {
+	// Drive every output hub to exhaustion; if the program declares no
+	// outputs, drive every IDB predicate (universal tuple inference).
+	targets := make([]string, 0, len(s.prog.Outputs))
+	for pred := range s.prog.Outputs {
+		targets = append(targets, pred)
+	}
+	if len(targets) == 0 {
+		for pred := range s.prog.IDBPreds() {
+			targets = append(targets, pred)
+		}
+	}
+	sort.Strings(targets)
+	for _, pred := range targets {
+		n := 0
+		for {
+			_, ok, err := s.Next(pred, n)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			n++
+		}
+	}
+	// Sweep to fixpoint so constraint/EGD filters observe every fact.
+	for s.sweep() {
+	}
+	if s.failure != nil {
+		return s.failure
+	}
+	return nil
+}
+
+// Run loads facts, drains the pipeline and returns the materialized
+// result.
+func (s *Session) Run(edb []ast.Fact) error {
+	for _, f := range s.prog.Facts {
+		s.Load(f)
+	}
+	s.Load(edb...)
+	return s.Drain()
+}
+
+// Output returns pred's facts with @post directives applied, like
+// chase.Result.Output.
+func (s *Session) Output(pred string) []ast.Fact {
+	return eval.ApplyPost(s.db.FactsOf(pred), s.prog.Posts, pred, s.subst)
+}
+
+// DB exposes the session's database (benchmarks, diagnostics).
+func (s *Session) DB() *storage.Database { return s.db }
+
+// Strategy exposes the termination policy for its statistics.
+func (s *Session) Strategy() core.Policy { return s.strat }
+
+// Buffer exposes the buffer manager for its statistics.
+func (s *Session) Buffer() *storage.BufferManager { return s.bm }
+
+// Derivations reports the number of admitted facts.
+func (s *Session) Derivations() int { return s.derivations }
+
+// Program returns the rewritten program the session executes.
+func (s *Session) Program() *ast.Program { return s.prog }
+
+// Analysis returns the warded analysis of the executed program.
+func (s *Session) Analysis() *analysis.Result { return s.res }

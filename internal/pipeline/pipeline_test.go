@@ -1,0 +1,330 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/chase"
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+func runPipeline(t *testing.T, src string, edb []ast.Fact) *Session {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	s, err := New(prog, Options{})
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	if err := s.Run(edb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return s
+}
+
+func TestPipelineTransitiveClosure(t *testing.T) {
+	src := `
+		edge(X,Y) -> path(X,Y).
+		path(X,Y), edge(Y,Z) -> path(X,Z).
+		@output("path").
+	`
+	edb := []ast.Fact{
+		ast.NewFact("edge", term.String("a"), term.String("b")),
+		ast.NewFact("edge", term.String("b"), term.String("c")),
+		ast.NewFact("edge", term.String("c"), term.String("a")),
+	}
+	s := runPipeline(t, src, edb)
+	if got := len(s.Output("path")); got != 9 {
+		t.Fatalf("want 9 paths, got %d", got)
+	}
+}
+
+func TestPipelineStreaming(t *testing.T) {
+	// The pull model must deliver facts one by one without draining first.
+	src := `
+		edge(X,Y) -> path(X,Y).
+		path(X,Y), edge(Y,Z) -> path(X,Z).
+		@output("path").
+	`
+	prog := parser.MustParse(src)
+	s, err := New(prog, Options{})
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	var edb []ast.Fact
+	for i := 0; i < 10; i++ {
+		edb = append(edb, ast.NewFact("edge",
+			term.String(fmt.Sprintf("n%d", i)), term.String(fmt.Sprintf("n%d", i+1))))
+	}
+	s.Load(edb...)
+	count := 0
+	for {
+		_, ok, err := s.Next("path", count)
+		if err != nil {
+			t.Fatalf("next: %v", err)
+		}
+		if !ok {
+			break
+		}
+		count++
+	}
+	if count != 10+9+8+7+6+5+4+3+2+1 {
+		t.Fatalf("streamed %d paths, want 55", count)
+	}
+}
+
+func TestPipelineCycleManagement(t *testing.T) {
+	// Mutually recursive predicates: runtime cycles must resolve to real
+	// misses, not hangs or premature termination.
+	src := `
+		a(X,Y) -> b(X,Y).
+		b(X,Y), a(Y,Z) -> a(X,Z).
+		b(X,Y) -> c(X,Y).
+		c(X,Y), b(Y,Z) -> b(X,Z).
+		@output("c").
+	`
+	edb := []ast.Fact{
+		ast.NewFact("a", term.String("1"), term.String("2")),
+		ast.NewFact("a", term.String("2"), term.String("3")),
+		ast.NewFact("a", term.String("3"), term.String("4")),
+	}
+	s := runPipeline(t, src, edb)
+	if got := len(s.Output("c")); got == 0 {
+		t.Fatal("cycle starved the pipeline: no c facts")
+	}
+}
+
+func TestPipelineInconsistency(t *testing.T) {
+	src := `
+		own(X,X,W) -> #fail.
+		own(X,Y,W) -> link(X,Y).
+		@output("link").
+	`
+	prog := parser.MustParse(src)
+	s, err := New(prog, Options{})
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	err = s.Run([]ast.Fact{ast.NewFact("own", term.String("a"), term.String("a"), term.Float(1))})
+	if !errors.Is(err, ErrInconsistent) {
+		t.Fatalf("want ErrInconsistent, got %v", err)
+	}
+}
+
+// crossValidate runs both engines on the same program and EDB and compares
+// the ground (certain) answers of the given predicates.
+func crossValidate(t *testing.T, src string, edb []ast.Fact, preds ...string) {
+	t.Helper()
+	prog1 := parser.MustParse(src)
+	ch, err := chase.Run(prog1, edb, chase.Options{})
+	if err != nil {
+		t.Fatalf("chase: %v", err)
+	}
+	prog2 := parser.MustParse(src)
+	pl, err := New(prog2, Options{})
+	if err != nil {
+		t.Fatalf("pipeline new: %v", err)
+	}
+	if err := pl.Run(edb); err != nil {
+		t.Fatalf("pipeline run: %v", err)
+	}
+	for _, pred := range preds {
+		a := groundSet(ch.Output(pred))
+		b := groundSet(pl.Output(pred))
+		if len(a) != len(b) {
+			t.Errorf("%s: chase has %d ground facts, pipeline %d", pred, len(a), len(b))
+		}
+		for k := range a {
+			if !b[k] {
+				t.Errorf("%s: pipeline missing %s", pred, k)
+			}
+		}
+		for k := range b {
+			if !a[k] {
+				t.Errorf("%s: pipeline extra %s", pred, k)
+			}
+		}
+	}
+}
+
+func groundSet(fs []ast.Fact) map[string]bool {
+	out := make(map[string]bool)
+	for _, f := range fs {
+		if f.IsGround() {
+			out[f.String()] = true
+		}
+	}
+	return out
+}
+
+func TestCrossValidationSuite(t *testing.T) {
+	cases := []struct {
+		name  string
+		src   string
+		edb   []ast.Fact
+		preds []string
+	}{
+		{
+			name: "transitive closure",
+			src: `
+				edge(X,Y) -> path(X,Y).
+				path(X,Y), edge(Y,Z) -> path(X,Z).
+			`,
+			edb: []ast.Fact{
+				ast.NewFact("edge", term.String("a"), term.String("b")),
+				ast.NewFact("edge", term.String("b"), term.String("c")),
+				ast.NewFact("edge", term.String("c"), term.String("d")),
+				ast.NewFact("edge", term.String("d"), term.String("b")),
+			},
+			preds: []string{"path"},
+		},
+		{
+			name: "running example 7",
+			src: `
+				company(X) -> owns(P, S, X).
+				owns(P,S,X) -> stock(X, S).
+				owns(P,S,X) -> psc(X, P).
+				psc(X,P), controls(X,Y) -> owns(P, S2, Y).
+				psc(X,P), psc(Y,P), X != Y -> strongLink(X,Y).
+				strongLink(X,Y) -> owns(P2, S3, X).
+				strongLink(X,Y) -> owns(P3, S4, Y).
+				stock(X,S) -> company(X).
+			`,
+			edb: []ast.Fact{
+				ast.NewFact("company", term.String("hsbc")),
+				ast.NewFact("company", term.String("hsb")),
+				ast.NewFact("company", term.String("iba")),
+				ast.NewFact("controls", term.String("hsbc"), term.String("hsb")),
+				ast.NewFact("controls", term.String("hsb"), term.String("iba")),
+			},
+			preds: []string{"strongLink", "company"},
+		},
+		{
+			name: "aggregation",
+			src: `
+				own(X,Y,W), W > 0.5 -> control(X,Y).
+				control(X,Y), own(Y,Z,W), V = msum(W, <Y>), V > 0.5 -> control(X,Z).
+			`,
+			edb: []ast.Fact{
+				ast.NewFact("own", term.String("a"), term.String("b"), term.Float(0.6)),
+				ast.NewFact("own", term.String("b"), term.String("c"), term.Float(0.4)),
+				ast.NewFact("own", term.String("a"), term.String("c"), term.Float(0.2)),
+				ast.NewFact("own", term.String("c"), term.String("d"), term.Float(0.9)),
+			},
+			preds: []string{"control"},
+		},
+		{
+			name: "negation",
+			src: `
+				node(X), not bad(X) -> good(X).
+				edge(X,Y) -> node(X).
+				edge(X,Y) -> node(Y).
+			`,
+			edb: []ast.Fact{
+				ast.NewFact("edge", term.String("a"), term.String("b")),
+				ast.NewFact("edge", term.String("b"), term.String("c")),
+				ast.NewFact("bad", term.String("b")),
+			},
+			preds: []string{"good"},
+		},
+		{
+			name: "harmful join",
+			src: `
+				keyPerson(X,P) -> psc(X,P).
+				company(X) -> psc(X, P).
+				control(Y,X), psc(Y,P) -> psc(X,P).
+				psc(X,P), psc(Y,P), X != Y -> strongLink(X,Y).
+			`,
+			edb: []ast.Fact{
+				ast.NewFact("company", term.String("a")),
+				ast.NewFact("company", term.String("b")),
+				ast.NewFact("company", term.String("c")),
+				ast.NewFact("control", term.String("a"), term.String("b")),
+				ast.NewFact("control", term.String("b"), term.String("c")),
+				ast.NewFact("keyPerson", term.String("c"), term.String("bob")),
+				ast.NewFact("keyPerson", term.String("a"), term.String("bob")),
+			},
+			preds: []string{"strongLink"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			crossValidate(t, tc.src, tc.edb, tc.preds...)
+		})
+	}
+}
+
+func TestPipelineNullRecursionTerminates(t *testing.T) {
+	src := `
+		p(X) -> q(Z, X).
+		q(Z, X) -> p(Z).
+		@output("p").
+	`
+	s := runPipeline(t, src, []ast.Fact{ast.NewFact("p", term.String("a"))})
+	if s.Derivations() > 100 {
+		t.Fatalf("expected termination with few facts, got %d", s.Derivations())
+	}
+}
+
+func TestPipelineBufferEviction(t *testing.T) {
+	src := `
+		edge(X,Y) -> path(X,Y).
+		path(X,Y), edge(Y,Z) -> path(X,Z).
+		@output("path").
+	`
+	prog := parser.MustParse(src)
+	s, err := New(prog, Options{BufferCapacity: 1024}) // tiny: force eviction
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	var edb []ast.Fact
+	for i := 0; i < 60; i++ {
+		edb = append(edb, ast.NewFact("edge",
+			term.String(fmt.Sprintf("n%d", i)), term.String(fmt.Sprintf("n%d", i+1))))
+	}
+	if err := s.Run(edb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if s.Buffer().Evictions == 0 {
+		t.Error("expected index evictions under a tiny buffer capacity")
+	}
+	// Correctness unaffected by eviction.
+	want := 60 * 61 / 2
+	if got := len(s.Output("path")); got != want {
+		t.Fatalf("want %d paths, got %d", want, got)
+	}
+}
+
+func TestPipelineDeterminism(t *testing.T) {
+	src := `
+		edge(X,Y) -> path(X,Y).
+		path(X,Y), edge(Y,Z) -> path(X,Z).
+		@output("path").
+	`
+	var edb []ast.Fact
+	for i := 0; i < 15; i++ {
+		edb = append(edb, ast.NewFact("edge",
+			term.String(fmt.Sprintf("n%d", i)), term.String(fmt.Sprintf("n%d", (i+3)%15))))
+	}
+	render := func() string {
+		s := runPipeline(t, src, edb)
+		var sb strings.Builder
+		for _, f := range s.Output("path") {
+			sb.WriteString(f.String())
+			sb.WriteByte(';')
+		}
+		return sb.String()
+	}
+	first := render()
+	for i := 0; i < 3; i++ {
+		if render() != first {
+			t.Fatalf("non-deterministic pipeline output")
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Plan renders the session's reasoning access plan (paper Sec. 4, step 2:
+// the logic compiler's pipeline of filters and pipes): one line per filter
+// with its generating-rule kind and termination-wrapper role, and the
+// pipes from the predicates it reads to the predicate it feeds.
+func (s *Session) Plan() string {
+	var sb strings.Builder
+	sb.WriteString("reasoning access plan (filters and pipes)\n")
+
+	// Source filters: EDB predicates (never produced by a rule).
+	idb := s.prog.IDBPreds()
+	var sources []string
+	preds, _ := s.prog.Predicates()
+	for pred := range preds {
+		if !idb[pred] {
+			sources = append(sources, pred)
+		}
+	}
+	sort.Strings(sources)
+	for _, pred := range sources {
+		fmt.Fprintf(&sb, "  source  %s\n", pred)
+	}
+
+	for _, f := range s.filters {
+		r := f.cr.Rule
+		var reads []string
+		for _, a := range f.cr.Pos {
+			reads = append(reads, a.Pred)
+		}
+		role := "filter"
+		switch {
+		case r.IsConstraint:
+			role = "constraint"
+		case r.EGD != nil:
+			role = "egd"
+		case r.Aggregate != nil:
+			role = "aggregate"
+		}
+		head := "⊥"
+		if len(r.Heads) > 0 {
+			head = r.Heads[0].Pred
+		} else if r.EGD != nil {
+			head = r.EGD.Left + "=" + r.EGD.Right
+		}
+		fmt.Fprintf(&sb, "  %-10s r%-3d [%s] %s -> %s\n",
+			role, r.ID, f.cr.Info.Kind, strings.Join(reads, " ⋈ "), head)
+	}
+
+	var sinks []string
+	for pred := range s.prog.Outputs {
+		sinks = append(sinks, pred)
+	}
+	sort.Strings(sinks)
+	for _, pred := range sinks {
+		fmt.Fprintf(&sb, "  sink    %s\n", pred)
+	}
+	return sb.String()
+}

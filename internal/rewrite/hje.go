@@ -1,0 +1,472 @@
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/ast"
+)
+
+// EliminateHarmfulJoinsStatic implements the Harmful Joins Elimination
+// Algorithm of paper Sec. 3.2 (cause elimination + Skolem simplification):
+//
+//   - grounding: a Dom-guarded ground copy of the harmful rule is added;
+//   - direct causes: rules whose head existentially creates the null are
+//     composed into the harmful rule, the join variable replaced by the
+//     cause's Skolem function;
+//   - indirect causes: rules that merely propagate the null are unfolded
+//     into the harmful rule;
+//   - Skolem simplification: rules whose join conditions equate a Skolem
+//     term with a constant (1a), two distinct Skolem functions (1b) or a
+//     Skolem function with a term containing it (1c) are dropped as
+//     virtual joins; two atoms carrying the same Skolem function are
+//     linearized by injectivity.
+//
+// The rewriting terminates for warded programs whose null-propagation
+// causes are non-recursive; for recursive causes the unfolding would grow
+// without bound, so the algorithm gives up once budget composed rules have
+// been generated and returns an error — callers then use the dynamic
+// (tag-twin) elimination, which handles recursion exactly.
+func EliminateHarmfulJoinsStatic(p *ast.Program, budget int) (*ast.Program, error) {
+	if budget <= 0 {
+		budget = 4*len(p.Rules) + 256
+	}
+	prog := cloneProgram(p)
+	seen := make(map[string]bool)
+	for _, r := range prog.Rules {
+		seen[ruleSignature(r)] = true
+	}
+	generated := 0
+	for round := 0; ; round++ {
+		if round > budget {
+			return nil, fmt.Errorf("rewrite: harmful-join elimination exceeded round budget (recursive causes)")
+		}
+		res := analysis.Analyze(prog)
+		idx := -1
+		for i, ri := range res.Rules {
+			if ri.HasHarmfulJoin {
+				idx = i
+				break
+			}
+		}
+		if idx == -1 {
+			renumber(prog)
+			return prog, nil
+		}
+		alpha := prog.Rules[idx]
+		ri := res.Rules[idx]
+		newRules, err := eliminateOne(prog, alpha, ri, &generated, budget, seen)
+		if err != nil {
+			return nil, err
+		}
+		// Remove α, append the replacements.
+		rest := make([]*ast.Rule, 0, len(prog.Rules)-1+len(newRules))
+		rest = append(rest, prog.Rules[:idx]...)
+		rest = append(rest, prog.Rules[idx+1:]...)
+		rest = append(rest, newRules...)
+		prog.Rules = rest
+		renumber(prog)
+	}
+}
+
+// eliminateOne performs one cause-elimination step for rule α.
+func eliminateOne(prog *ast.Program, alpha *ast.Rule, ri *analysis.RuleInfo, generated *int, budget int, seen map[string]bool) ([]*ast.Rule, error) {
+	h := pickJoinVar(alpha, ri)
+	if h == "" {
+		return nil, fmt.Errorf("rewrite: rule %d flagged harmful but no join variable found", alpha.ID)
+	}
+	// A is the first positive atom containing h; it is the atom unfolded.
+	aIdx := -1
+	for bi, a := range alpha.Body {
+		if a.Negated || a.Pred == ast.DomPred {
+			continue
+		}
+		for _, arg := range a.Args {
+			if arg.IsVar && arg.Var == h {
+				aIdx = bi
+			}
+		}
+		if aIdx >= 0 {
+			break
+		}
+	}
+	if aIdx == -1 {
+		return nil, fmt.Errorf("rewrite: join variable %s not found in rule %d", h, alpha.ID)
+	}
+	atomA := alpha.Body[aIdx]
+
+	var out []*ast.Rule
+
+	// Grounding: dom(h), α (with the ground copy the join is harmless).
+	grounded := alpha.Clone()
+	grounded.DomVars = append(grounded.DomVars, h)
+	grounded.Skolem = alpha.SkolemBase()
+	out = append(out, grounded)
+
+	// Causes: rules whose head unifies with A.
+	for _, beta := range prog.Rules {
+		if beta.IsConstraint || beta.EGD != nil || beta.Aggregate != nil {
+			continue
+		}
+		for _, bh := range beta.Heads {
+			if bh.Pred != atomA.Pred || len(bh.Args) != len(atomA.Args) {
+				continue
+			}
+			nr, ok, err := compose(alpha, aIdx, h, beta, bh)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue // virtual join or non-unifiable
+			}
+			sig := ruleSignature(nr)
+			if seen[sig] {
+				continue
+			}
+			seen[sig] = true
+			*generated++
+			if *generated > budget {
+				return nil, fmt.Errorf("rewrite: harmful-join elimination exceeded rule budget (recursive causes)")
+			}
+			out = append(out, nr)
+		}
+	}
+	return out, nil
+}
+
+func pickJoinVar(r *ast.Rule, ri *analysis.RuleInfo) string {
+	occ := make(map[string]int)
+	for _, a := range r.Body {
+		if a.Negated || a.Pred == ast.DomPred {
+			continue
+		}
+		local := make(map[string]bool)
+		for _, arg := range a.Args {
+			if arg.IsVar && arg.Var != "_" && !local[arg.Var] {
+				local[arg.Var] = true
+				occ[arg.Var]++
+			}
+		}
+	}
+	var cands []string
+	for v, n := range occ {
+		if n >= 2 && ri.Classes[v] != analysis.Harmless {
+			cands = append(cands, v)
+		}
+	}
+	sort.Strings(cands)
+	if len(cands) == 0 {
+		return ""
+	}
+	return cands[0]
+}
+
+// compose unfolds atom A (alpha.Body[aIdx]) of α with cause rule β whose
+// head bh unifies with A. It returns ok=false when the unification fails
+// or the Skolem simplification classifies the composed join as virtual.
+func compose(alpha *ast.Rule, aIdx int, h string, beta *ast.Rule, bh ast.Atom) (*ast.Rule, bool, error) {
+	// Rename β's variables apart.
+	prefix := fmt.Sprintf("b%d_", beta.ID)
+	rb := renameRule(beta, prefix)
+	rbh := renameAtom(bh, prefix, beta)
+
+	exists := make(map[string]bool)
+	for _, z := range beta.Existentials() {
+		exists[prefix+z] = true
+	}
+
+	// Build the substitution over α's and renamed-β's variables.
+	sub := map[string]ast.Arg{}
+	resolve := func(a ast.Arg) ast.Arg {
+		for a.IsVar {
+			nxt, ok := sub[a.Var]
+			if !ok {
+				return a
+			}
+			a = nxt
+		}
+		return a
+	}
+	unify := func(x, y ast.Arg) bool {
+		x, y = resolve(x), resolve(y)
+		if x.IsVar && y.IsVar {
+			if x.Var != y.Var {
+				sub[x.Var] = y
+			}
+			return true
+		}
+		if x.IsVar {
+			sub[x.Var] = y
+			return true
+		}
+		if y.IsVar {
+			sub[y.Var] = x
+			return true
+		}
+		return x.Const == y.Const
+	}
+
+	directPos := -1 // position of h in A where β creates the null
+	atomA := alpha.Body[aIdx]
+	for i, aArg := range atomA.Args {
+		bArg := rbh.Args[i]
+		if aArg.IsVar && aArg.Var == h {
+			if bArg.IsVar && exists[bArg.Var] {
+				directPos = i
+				continue // handled via Skolem below
+			}
+			// Indirect: h unifies with β's universal head variable.
+			if !unify(aArg, bArg) {
+				return nil, false, nil
+			}
+			continue
+		}
+		if bArg.IsVar && exists[bArg.Var] {
+			// A requires a specific (non-join) value where β creates a
+			// fresh null: if A's arg is a constant this join is virtual
+			// (1a); if it is a variable it now carries the Skolem value.
+			if !aArg.IsVar {
+				return nil, false, nil
+			}
+		}
+		if !unify(aArg, bArg) {
+			return nil, false, nil
+		}
+	}
+
+	nr := &ast.Rule{Skolem: alpha.SkolemBase() + "+" + beta.SkolemBase()}
+	nr.Heads = cloneHeadAtoms(alpha.Heads)
+	nr.IsConstraint = alpha.IsConstraint
+	if alpha.EGD != nil {
+		egd := *alpha.EGD
+		nr.EGD = &egd
+	}
+	// Body: β's body (renamed) + α's body minus A.
+	nr.Body = append(nr.Body, rb.Body...)
+	for bi, a := range alpha.Body {
+		if bi == aIdx {
+			continue
+		}
+		nr.Body = append(nr.Body, a)
+	}
+	nr.Conds = append(append([]ast.Condition(nil), rb.Conds...), alpha.Conds...)
+	nr.Assignments = append(append([]ast.Assignment(nil), rb.Assignments...), alpha.Assignments...)
+	nr.UsesDom = alpha.UsesDom || beta.UsesDom
+	nr.DomVars = append(append([]string(nil), rb.DomVars...), alpha.DomVars...)
+	if alpha.Aggregate != nil {
+		ag := *alpha.Aggregate
+		nr.Aggregate = &ag
+	}
+
+	if directPos >= 0 {
+		// Direct cause: h becomes the Skolem term of β's existential.
+		z := bh.Args[directPos].Var
+		bodyVars := beta.BodyVars()
+		sort.Strings(bodyVars)
+		skArgs := make([]ast.Expr, len(bodyVars))
+		for i, v := range bodyVars {
+			skArgs[i] = ast.VarExpr{Name: prefix + v}
+		}
+		skName := "#" + beta.SkolemBase() + ":" + z
+		// Simplification 1b/1c/linearization: if h is already bound to a
+		// Skolem assignment in α, compare functions.
+		for _, asg := range alpha.Assignments {
+			if asg.Var != h {
+				continue
+			}
+			if fe, ok := asg.Expr.(ast.FuncExpr); ok && fe.IsSkolem() {
+				if fe.Name != skName {
+					return nil, false, nil // (1b) distinct functions never equal
+				}
+				// Linearization: same function — unify the argument lists.
+				if len(fe.Args) != len(skArgs) {
+					return nil, false, nil
+				}
+				for i := range fe.Args {
+					av, aok := fe.Args[i].(ast.VarExpr)
+					bv, bok := skArgs[i].(ast.VarExpr)
+					if aok && bok {
+						if !unify(ast.V(av.Name), ast.V(bv.Name)) {
+							return nil, false, nil
+						}
+					}
+				}
+			}
+		}
+		nr.Assignments = append(nr.Assignments, ast.Assignment{
+			Var:  h,
+			Expr: ast.FuncExpr{Name: skName, Args: skArgs},
+		})
+	}
+
+	// Apply the substitution everywhere.
+	applySub := func(a *ast.Atom) {
+		for i := range a.Args {
+			a.Args[i] = resolve(a.Args[i])
+		}
+	}
+	for i := range nr.Body {
+		applySub(&nr.Body[i])
+	}
+	for i := range nr.Heads {
+		applySub(&nr.Heads[i])
+	}
+	for i, c := range nr.Conds {
+		nr.Conds[i] = ast.Condition{Op: c.Op, L: substExpr(c.L, resolve), R: substExpr(c.R, resolve)}
+	}
+	for i, a := range nr.Assignments {
+		nv := resolve(ast.V(a.Var))
+		if !nv.IsVar {
+			return nil, false, nil // assignment target equated to constant: virtual
+		}
+		nr.Assignments[i] = ast.Assignment{Var: nv.Var, Expr: substExpr(a.Expr, resolve)}
+	}
+	for i, v := range nr.DomVars {
+		if nv := resolve(ast.V(v)); nv.IsVar {
+			nr.DomVars[i] = nv.Var
+		}
+	}
+	// Occurs check (1c): a Skolem assignment whose arguments reach the
+	// assigned variable denotes f(...f(x)...) = x, never satisfiable.
+	for _, asg := range nr.Assignments {
+		if fe, ok := asg.Expr.(ast.FuncExpr); ok && fe.IsSkolem() {
+			for _, v := range fe.Args {
+				if ve, ok := v.(ast.VarExpr); ok && ve.Name == asg.Var {
+					return nil, false, nil
+				}
+			}
+		}
+	}
+	return nr, true, nil
+}
+
+func substExpr(e ast.Expr, resolve func(ast.Arg) ast.Arg) ast.Expr {
+	switch ex := e.(type) {
+	case ast.VarExpr:
+		a := resolve(ast.V(ex.Name))
+		if a.IsVar {
+			return ast.VarExpr{Name: a.Var}
+		}
+		return ast.ConstExpr{Val: a.Const}
+	case ast.BinExpr:
+		return ast.BinExpr{Op: ex.Op, L: substExpr(ex.L, resolve), R: substExpr(ex.R, resolve)}
+	case ast.FuncExpr:
+		args := make([]ast.Expr, len(ex.Args))
+		for i, a := range ex.Args {
+			args[i] = substExpr(a, resolve)
+		}
+		return ast.FuncExpr{Name: ex.Name, Args: args}
+	default:
+		return e
+	}
+}
+
+func renameRule(r *ast.Rule, prefix string) *ast.Rule {
+	nr := r.Clone()
+	ren := func(a *ast.Atom) {
+		for i := range a.Args {
+			if a.Args[i].IsVar && a.Args[i].Var != "_" {
+				a.Args[i].Var = prefix + a.Args[i].Var
+			}
+		}
+	}
+	for i := range nr.Body {
+		ren(&nr.Body[i])
+	}
+	for i := range nr.Heads {
+		ren(&nr.Heads[i])
+	}
+	rv := func(a ast.Arg) ast.Arg { return a }
+	_ = rv
+	renExpr := func(e ast.Expr) ast.Expr {
+		return substExpr(e, func(a ast.Arg) ast.Arg {
+			if a.IsVar && a.Var != "_" && !strings.HasPrefix(a.Var, prefix) {
+				return ast.V(prefix + a.Var)
+			}
+			return a
+		})
+	}
+	for i, c := range nr.Conds {
+		nr.Conds[i] = ast.Condition{Op: c.Op, L: renExpr(c.L), R: renExpr(c.R)}
+	}
+	for i, asg := range nr.Assignments {
+		nr.Assignments[i] = ast.Assignment{Var: prefix + asg.Var, Expr: renExpr(asg.Expr)}
+	}
+	for i, v := range nr.DomVars {
+		nr.DomVars[i] = prefix + v
+	}
+	return nr
+}
+
+func renameAtom(a ast.Atom, prefix string, _ *ast.Rule) ast.Atom {
+	na := a
+	na.Args = append([]ast.Arg(nil), a.Args...)
+	for i := range na.Args {
+		if na.Args[i].IsVar && na.Args[i].Var != "_" {
+			na.Args[i].Var = prefix + na.Args[i].Var
+		}
+	}
+	return na
+}
+
+func ruleSignature(r *ast.Rule) string {
+	// Canonicalize variable names by first occurrence so α-equivalent
+	// rules share a signature.
+	names := make(map[string]string)
+	var canon func(a ast.Arg) string
+	canon = func(a ast.Arg) string {
+		if !a.IsVar {
+			return a.Const.String()
+		}
+		n, ok := names[a.Var]
+		if !ok {
+			n = fmt.Sprintf("V%d", len(names))
+			names[a.Var] = n
+		}
+		return n
+	}
+	var sb strings.Builder
+	atomSig := func(a ast.Atom) {
+		if a.Negated {
+			sb.WriteString("not ")
+		}
+		sb.WriteString(a.Pred)
+		sb.WriteByte('(')
+		for _, arg := range a.Args {
+			sb.WriteString(canon(arg))
+			sb.WriteByte(',')
+		}
+		sb.WriteByte(')')
+	}
+	for _, a := range r.Body {
+		atomSig(a)
+	}
+	sb.WriteString("->")
+	for _, a := range r.Heads {
+		atomSig(a)
+	}
+	for _, c := range r.Conds {
+		sb.WriteString(c.String())
+	}
+	for _, asg := range r.Assignments {
+		sb.WriteString(asg.String())
+	}
+	sort.Strings(r.DomVars)
+	for _, v := range r.DomVars {
+		sb.WriteString("dom:" + canon(ast.V(v)))
+	}
+	if r.UsesDom {
+		sb.WriteString("dom*")
+	}
+	return sb.String()
+}
+
+func cloneProgram(p *ast.Program) *ast.Program {
+	out := cloneShell(p)
+	for _, r := range p.Rules {
+		out.AddRule(r.Clone())
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package storage
+
+import (
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/term"
+)
+
+// Database is the in-memory instance the engines operate on: one relation
+// per predicate, a null factory, and the active constant domain (ACDom)
+// collected from EDB facts (paper Sec. 2, Modeling Features).
+type Database struct {
+	rels  map[string]*Relation
+	names []string
+
+	// Nulls mints labelled nulls; Skolem functions are memoized here so
+	// that repeated rule firings are deterministic.
+	Nulls *term.NullFactory
+
+	activeDom map[term.Value]bool
+	noIndex   bool
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{
+		rels:      make(map[string]*Relation),
+		Nulls:     term.NewNullFactory(),
+		activeDom: make(map[term.Value]bool),
+	}
+}
+
+// DisableIndexes makes every relation (present and future) scan instead
+// of using dynamic indexes — the slot-machine-join ablation.
+func (db *Database) DisableIndexes() {
+	db.noIndex = true
+	for _, r := range db.rels {
+		r.SetNoIndex(true)
+	}
+}
+
+// Rel returns the relation for pred, creating it with the given arity on
+// first use.
+func (db *Database) Rel(pred string, arity int) *Relation {
+	r := db.rels[pred]
+	if r == nil {
+		r = NewRelation(pred, arity)
+		r.SetNoIndex(db.noIndex)
+		db.rels[pred] = r
+		db.names = append(db.names, pred)
+		sort.Strings(db.names)
+	}
+	return r
+}
+
+// Lookup returns the relation for pred or nil.
+func (db *Database) Lookup(pred string) *Relation { return db.rels[pred] }
+
+// Predicates returns the sorted predicate names present.
+func (db *Database) Predicates() []string {
+	return append([]string(nil), db.names...)
+}
+
+// Insert stores m in its predicate's relation; it reports whether the fact
+// was new.
+func (db *Database) Insert(m *core.FactMeta) bool {
+	return db.Rel(m.Fact.Pred, len(m.Fact.Args)).Insert(m)
+}
+
+// InsertEDB stores a database fact, registers its constants in the active
+// domain and wires its termination-strategy metadata through strat.
+// It reports whether the fact was new.
+func (db *Database) InsertEDB(f ast.Fact, strat core.Policy) bool {
+	rel := db.Rel(f.Pred, len(f.Args))
+	if rel.Contains(f) {
+		return false
+	}
+	m := strat.NewEDBFact(f)
+	rel.Insert(m)
+	for _, v := range f.Args {
+		if v.IsGround() {
+			db.activeDom[v] = true
+		}
+	}
+	return true
+}
+
+// InActiveDomain reports whether v is a constant of the active domain.
+func (db *Database) InActiveDomain(v term.Value) bool {
+	return v.IsGround() && db.activeDom[v]
+}
+
+// ActiveDomainSize returns |ACDom|.
+func (db *Database) ActiveDomainSize() int { return len(db.activeDom) }
+
+// TotalFacts counts all stored facts.
+func (db *Database) TotalFacts() int {
+	n := 0
+	for _, r := range db.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// Bytes returns the rough retained size of all relations and indexes.
+func (db *Database) Bytes() int64 {
+	var b int64
+	for _, r := range db.rels {
+		b += r.Bytes()
+	}
+	return b
+}
+
+// FactsOf returns a snapshot of the facts of pred (nil when absent).
+func (db *Database) FactsOf(pred string) []ast.Fact {
+	r := db.rels[pred]
+	if r == nil {
+		return nil
+	}
+	return r.Facts()
+}

@@ -1,0 +1,174 @@
+// Package storage implements the in-memory fact store of the Vadalog
+// system: append-only relations with exact-duplicate elimination, the
+// dynamic in-memory indexes that back the slot-machine join (paper
+// Sec. 4), the active constant domain (ACDom) and a buffer manager with
+// per-segment accounting and LRU index eviction.
+package storage
+
+import (
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/term"
+)
+
+// Relation stores the facts of one predicate together with their
+// termination-strategy metadata. Facts are kept in insertion order;
+// duplicates (by exact key, null identities included) are rejected.
+type Relation struct {
+	name  string
+	arity int
+	metas []*core.FactMeta
+	exact map[string]int32
+
+	// indexes maps a position bitmask to a dynamically built hash index
+	// over those positions. Indexes are created on first lookup and
+	// extended lazily to cover facts appended since the last probe —
+	// the "dynamic indexing" of the slot machine join.
+	indexes map[uint32]*dynIndex
+	noIndex bool
+
+	bytes int64 // rough retained-size accounting for the buffer manager
+}
+
+type dynIndex struct {
+	mask    uint32
+	entries map[string][]int32
+	upTo    int // facts [0, upTo) are indexed
+	bytes   int64
+}
+
+// NewRelation creates an empty relation for pred with the given arity.
+func NewRelation(pred string, arity int) *Relation {
+	return &Relation{
+		name:    pred,
+		arity:   arity,
+		exact:   make(map[string]int32),
+		indexes: make(map[uint32]*dynIndex),
+	}
+}
+
+// Name returns the predicate name.
+func (r *Relation) Name() string { return r.name }
+
+// Arity returns the declared arity.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of stored facts.
+func (r *Relation) Len() int { return len(r.metas) }
+
+// At returns the i-th stored fact.
+func (r *Relation) At(i int) *core.FactMeta { return r.metas[i] }
+
+// Bytes returns the rough retained size of the relation incl. indexes.
+func (r *Relation) Bytes() int64 {
+	b := r.bytes
+	for _, ix := range r.indexes {
+		b += ix.bytes
+	}
+	return b
+}
+
+// Insert appends m unless an exactly equal fact is already stored.
+// It reports whether the fact was new.
+func (r *Relation) Insert(m *core.FactMeta) bool {
+	key := m.Fact.Key()
+	if _, dup := r.exact[key]; dup {
+		return false
+	}
+	r.exact[key] = int32(len(r.metas))
+	r.metas = append(r.metas, m)
+	r.bytes += int64(len(key)) + 64
+	return true
+}
+
+// Contains reports whether an exactly equal fact is stored.
+func (r *Relation) Contains(f ast.Fact) bool {
+	_, ok := r.exact[f.Key()]
+	return ok
+}
+
+// lookupKey encodes the values of the masked positions.
+func lookupKey(args []term.Value, mask uint32) string {
+	var sb strings.Builder
+	for i := 0; i < len(args); i++ {
+		if mask&(1<<uint(i)) != 0 {
+			sb.WriteString(args[i].String())
+			sb.WriteByte('\x00')
+		}
+	}
+	return sb.String()
+}
+
+// LookupKeyOf builds the probe key for a lookup with the given bound
+// values; vals must have the relation's arity with only masked positions
+// inspected.
+func LookupKeyOf(vals []term.Value, mask uint32) string { return lookupKey(vals, mask) }
+
+// NoIndex disables dynamic indexing for this relation: every Lookup scans
+// (the ablation baseline for the slot machine join).
+func (r *Relation) SetNoIndex(v bool) { r.noIndex = v }
+
+// Lookup returns the indexes of all facts whose masked positions equal the
+// corresponding positions of probe. It builds or extends the dynamic index
+// for mask as a side effect (optimistic probe, then scan of the unindexed
+// suffix, as in the paper's slot machine join).
+func (r *Relation) Lookup(mask uint32, probe []term.Value) []int32 {
+	if mask == 0 {
+		out := make([]int32, len(r.metas))
+		for i := range r.metas {
+			out[i] = int32(i)
+		}
+		return out
+	}
+	if r.noIndex {
+		key := lookupKey(probe, mask)
+		var out []int32
+		for i, m := range r.metas {
+			if lookupKey(m.Fact.Args, mask) == key {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	ix := r.indexes[mask]
+	if ix == nil {
+		ix = &dynIndex{mask: mask, entries: make(map[string][]int32)}
+		r.indexes[mask] = ix
+	}
+	// Extend the index over facts appended since the last probe.
+	for ; ix.upTo < len(r.metas); ix.upTo++ {
+		f := r.metas[ix.upTo]
+		k := lookupKey(f.Fact.Args, mask)
+		ix.entries[k] = append(ix.entries[k], int32(ix.upTo))
+		ix.bytes += int64(len(k)) + 16
+	}
+	return ix.entries[lookupKey(probe, mask)]
+}
+
+// LookupCount returns how many facts match without materializing a slice
+// beyond the index bucket.
+func (r *Relation) LookupCount(mask uint32, probe []term.Value) int {
+	return len(r.Lookup(mask, probe))
+}
+
+// DropIndexes discards all dynamic indexes (they are rebuilt on demand);
+// used by the buffer manager under memory pressure.
+func (r *Relation) DropIndexes() {
+	if len(r.indexes) > 0 {
+		r.indexes = make(map[uint32]*dynIndex)
+	}
+}
+
+// IndexCount returns how many dynamic indexes currently exist.
+func (r *Relation) IndexCount() int { return len(r.indexes) }
+
+// Facts returns a snapshot slice of the stored facts (no metadata).
+func (r *Relation) Facts() []ast.Fact {
+	out := make([]ast.Fact, len(r.metas))
+	for i, m := range r.metas {
+		out[i] = m.Fact
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/term"
+)
+
+func meta(pred string, args ...term.Value) *core.FactMeta {
+	return &core.FactMeta{Fact: ast.NewFact(pred, args...)}
+}
+
+func TestRelationInsertDedup(t *testing.T) {
+	r := NewRelation("p", 2)
+	if !r.Insert(meta("p", term.String("a"), term.Int(1))) {
+		t.Fatal("first insert must succeed")
+	}
+	if r.Insert(meta("p", term.String("a"), term.Int(1))) {
+		t.Fatal("duplicate insert must fail")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("len: %d", r.Len())
+	}
+	if !r.Contains(ast.NewFact("p", term.String("a"), term.Int(1))) {
+		t.Fatal("contains")
+	}
+}
+
+func TestDynamicIndexLookup(t *testing.T) {
+	r := NewRelation("p", 2)
+	for i := 0; i < 100; i++ {
+		r.Insert(meta("p", term.Int(int64(i%10)), term.Int(int64(i))))
+	}
+	probe := []term.Value{term.Int(3), {}}
+	rows := r.Lookup(1, probe) // mask = position 0
+	if len(rows) != 10 {
+		t.Fatalf("lookup rows: %d, want 10", len(rows))
+	}
+	for _, row := range rows {
+		if r.At(int(row)).Fact.Args[0] != term.Int(3) {
+			t.Fatal("index returned wrong fact")
+		}
+	}
+	if r.IndexCount() != 1 {
+		t.Fatalf("index count: %d", r.IndexCount())
+	}
+}
+
+// TestDynamicIndexExtension: facts inserted after an index was built are
+// found by later lookups (the lazy extension of the slot machine join).
+func TestDynamicIndexExtension(t *testing.T) {
+	r := NewRelation("p", 2)
+	r.Insert(meta("p", term.Int(1), term.Int(10)))
+	probe := []term.Value{term.Int(1), {}}
+	if got := len(r.Lookup(1, probe)); got != 1 {
+		t.Fatalf("initial: %d", got)
+	}
+	r.Insert(meta("p", term.Int(1), term.Int(11)))
+	if got := len(r.Lookup(1, probe)); got != 2 {
+		t.Fatalf("after extension: %d", got)
+	}
+}
+
+// TestLookupMatchesScan is a property test: for random relations, masks
+// and probes, the indexed lookup equals the naive scan.
+func TestLookupMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		r := NewRelation("p", 3)
+		n := 5 + rng.Intn(60)
+		for i := 0; i < n; i++ {
+			r.Insert(meta("p",
+				term.Int(int64(rng.Intn(4))),
+				term.Int(int64(rng.Intn(4))),
+				term.Int(int64(rng.Intn(4)))))
+		}
+		mask := uint32(rng.Intn(8))
+		probe := []term.Value{
+			term.Int(int64(rng.Intn(4))),
+			term.Int(int64(rng.Intn(4))),
+			term.Int(int64(rng.Intn(4))),
+		}
+		got := map[int32]bool{}
+		for _, row := range r.Lookup(mask, probe) {
+			got[row] = true
+		}
+		for i := 0; i < r.Len(); i++ {
+			f := r.At(i).Fact
+			match := true
+			for p := 0; p < 3; p++ {
+				if mask&(1<<uint(p)) != 0 && f.Args[p] != probe[p] {
+					match = false
+				}
+			}
+			if match != got[int32(i)] {
+				t.Fatalf("trial %d: row %d mask %b: scan=%v index=%v", trial, i, mask, match, got[int32(i)])
+			}
+		}
+	}
+}
+
+func TestNoIndexMode(t *testing.T) {
+	r := NewRelation("p", 2)
+	r.SetNoIndex(true)
+	for i := 0; i < 20; i++ {
+		r.Insert(meta("p", term.Int(int64(i%5)), term.Int(int64(i))))
+	}
+	rows := r.Lookup(1, []term.Value{term.Int(2), {}})
+	if len(rows) != 4 {
+		t.Fatalf("scan rows: %d", len(rows))
+	}
+	if r.IndexCount() != 0 {
+		t.Fatal("no index must be built in no-index mode")
+	}
+}
+
+func TestDropIndexes(t *testing.T) {
+	r := NewRelation("p", 2)
+	r.Insert(meta("p", term.Int(1), term.Int(2)))
+	r.Lookup(1, []term.Value{term.Int(1), {}})
+	if r.IndexCount() != 1 {
+		t.Fatal("index expected")
+	}
+	r.DropIndexes()
+	if r.IndexCount() != 0 {
+		t.Fatal("indexes must be dropped")
+	}
+	// Rebuilt on demand.
+	if got := len(r.Lookup(1, []term.Value{term.Int(1), {}})); got != 1 {
+		t.Fatalf("after rebuild: %d", got)
+	}
+}
+
+func TestDatabaseActiveDomain(t *testing.T) {
+	db := NewDatabase()
+	strat := &fakePolicy{}
+	db.InsertEDB(ast.NewFact("p", term.String("a"), term.Int(5)), strat)
+	if !db.InActiveDomain(term.String("a")) || !db.InActiveDomain(term.Int(5)) {
+		t.Error("EDB constants must be in the active domain")
+	}
+	if db.InActiveDomain(term.String("zz")) {
+		t.Error("unknown constant must not be in the active domain")
+	}
+	if db.InActiveDomain(term.Null(1)) {
+		t.Error("nulls are never in the active domain")
+	}
+	if db.ActiveDomainSize() != 2 {
+		t.Errorf("ACDom size: %d", db.ActiveDomainSize())
+	}
+}
+
+type fakePolicy struct{}
+
+func (f *fakePolicy) NewEDBFact(fa ast.Fact) *core.FactMeta { return &core.FactMeta{Fact: fa} }
+func (f *fakePolicy) Derive(fa ast.Fact, ruleID int, parents []*core.FactMeta) *core.FactMeta {
+	return &core.FactMeta{Fact: fa}
+}
+func (f *fakePolicy) CheckTermination(m *core.FactMeta) bool { return true }
+
+func TestBufferManagerEviction(t *testing.T) {
+	bm := NewBufferManager(200)
+	rels := make([]*Relation, 3)
+	for i := range rels {
+		rels[i] = NewRelation(fmt.Sprintf("p%d", i), 2)
+		bm.Register(fmt.Sprintf("p%d", i), rels[i])
+		for k := 0; k < 20; k++ {
+			rels[i].Insert(meta(fmt.Sprintf("p%d", i), term.Int(int64(k)), term.Int(int64(k))))
+		}
+		rels[i].Lookup(1, []term.Value{term.Int(1), {}})
+	}
+	bm.Pin("p2")
+	bm.Touch("p0")
+	bm.Touch("p1")
+	bm.Touch("p0") // p1 is now least recently used among evictables
+	if bm.Evictions == 0 {
+		t.Fatal("expected evictions under pressure")
+	}
+	if rels[2].IndexCount() == 0 {
+		t.Error("pinned segment must keep its indexes")
+	}
+}
+
+func TestDatabaseTotals(t *testing.T) {
+	db := NewDatabase()
+	strat := &fakePolicy{}
+	db.InsertEDB(ast.NewFact("p", term.Int(1)), strat)
+	db.InsertEDB(ast.NewFact("q", term.Int(2), term.Int(3)), strat)
+	if db.TotalFacts() != 2 {
+		t.Errorf("total: %d", db.TotalFacts())
+	}
+	if len(db.Predicates()) != 2 {
+		t.Errorf("preds: %v", db.Predicates())
+	}
+	if db.Bytes() <= 0 {
+		t.Error("bytes accounting")
+	}
+	if got := db.FactsOf("p"); len(got) != 1 {
+		t.Errorf("FactsOf: %v", got)
+	}
+	if db.Lookup("nope") != nil {
+		t.Error("missing relation must be nil")
+	}
+}

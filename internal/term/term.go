@@ -1,0 +1,352 @@
+// Package term implements the Vadalog value model: typed constants,
+// labelled nulls and Skolem functions.
+//
+// Runtime facts contain only constants and labelled nulls; variables exist
+// in rules and are compiled away before execution. Value is a small
+// comparable struct so it can be used directly as a map key, which the
+// engine relies on for hash joins, indexes and isomorphism checks.
+package term
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the runtime types of a Value.
+type Kind uint8
+
+// The Vadalog data types. Null is a labelled null (marked null in data
+// exchange terminology); it is not a SQL NULL.
+const (
+	KindInvalid Kind = iota
+	KindString
+	KindInt
+	KindFloat
+	KindBool
+	KindDate // days since epoch, kept as an integer
+	KindNull // labelled null ν_i
+)
+
+// String returns the lowercase name of the kind as used in error messages.
+func (k Kind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	case KindDate:
+		return "date"
+	case KindNull:
+		return "null"
+	default:
+		return "invalid"
+	}
+}
+
+// Value is a single Vadalog runtime value. The zero Value is invalid.
+// Value is comparable: two Values are == iff they denote the same constant
+// or the same labelled null.
+type Value struct {
+	kind Kind
+	i    int64 // int, bool (0/1), date, null id
+	f    float64
+	s    string
+}
+
+// String constructs a string constant.
+func String(s string) Value { return Value{kind: KindString, s: s} }
+
+// Int constructs an integer constant.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float constructs a floating-point constant.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// Bool constructs a boolean constant.
+func Bool(b bool) Value {
+	if b {
+		return Value{kind: KindBool, i: 1}
+	}
+	return Value{kind: KindBool}
+}
+
+// Date constructs a date constant from days since the epoch.
+func Date(days int64) Value { return Value{kind: KindDate, i: days} }
+
+// Null constructs the labelled null with the given id.
+func Null(id int64) Value { return Value{kind: KindNull, i: id} }
+
+// Kind reports the runtime type of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is a labelled null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// IsGround reports whether v is a constant (not a labelled null).
+func (v Value) IsGround() bool { return v.kind != KindNull && v.kind != KindInvalid }
+
+// NullID returns the id of a labelled null; it panics on other kinds.
+func (v Value) NullID() int64 {
+	if v.kind != KindNull {
+		panic("term: NullID on non-null value " + v.String())
+	}
+	return v.i
+}
+
+// Str returns the string payload of a string constant.
+func (v Value) Str() string { return v.s }
+
+// IntVal returns the integer payload of an int or date constant.
+func (v Value) IntVal() int64 { return v.i }
+
+// FloatVal returns the float payload; for int values it widens.
+func (v Value) FloatVal() float64 {
+	if v.kind == KindInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// BoolVal returns the boolean payload.
+func (v Value) BoolVal() bool { return v.i != 0 }
+
+// IsNumeric reports whether v is an int or float.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// String renders v in the textual syntax used across the repository:
+// strings are quoted only when needed, nulls render as _:nK.
+func (v Value) String() string {
+	switch v.kind {
+	case KindString:
+		if needsQuoting(v.s) {
+			return strconv.Quote(v.s)
+		}
+		return v.s
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindBool:
+		if v.i != 0 {
+			return "#t"
+		}
+		return "#f"
+	case KindDate:
+		return "d" + strconv.FormatInt(v.i, 10)
+	case KindNull:
+		return "_:n" + strconv.FormatInt(v.i, 10)
+	default:
+		return "<invalid>"
+	}
+}
+
+func needsQuoting(s string) bool {
+	if s == "" {
+		return true
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z':
+		case r >= 'A' && r <= 'Z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return true
+			}
+		case r == '_' || r == '-' || r == '.':
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Compare totally orders values: first by kind, then by payload.
+// The order on kinds is arbitrary but fixed; numeric int/float compare by
+// numeric value when kinds coincide with the widened comparison used by
+// conditions (see CompareNumeric).
+func Compare(a, b Value) int {
+	if a.kind != b.kind {
+		// Numeric cross-kind comparison keeps ints and floats in one order.
+		if a.IsNumeric() && b.IsNumeric() {
+			return compareFloat(a.FloatVal(), b.FloatVal())
+		}
+		return int(a.kind) - int(b.kind)
+	}
+	switch a.kind {
+	case KindString:
+		return strings.Compare(a.s, b.s)
+	case KindInt, KindDate, KindBool, KindNull:
+		return compareInt(a.i, b.i)
+	case KindFloat:
+		return compareFloat(a.f, b.f)
+	default:
+		return 0
+	}
+}
+
+func compareInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func compareFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports semantic equality: identical values, or int/float with the
+// same numeric value.
+func Equal(a, b Value) bool {
+	if a == b {
+		return true
+	}
+	if a.IsNumeric() && b.IsNumeric() {
+		return a.FloatVal() == b.FloatVal()
+	}
+	return false
+}
+
+// Hash returns a 64-bit hash of v, mixing kind and payload (FNV-1a).
+func (v Value) Hash() uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= 1099511628211
+			x >>= 8
+		}
+	}
+	h ^= uint64(v.kind)
+	h *= 1099511628211
+	switch v.kind {
+	case KindString:
+		for i := 0; i < len(v.s); i++ {
+			h ^= uint64(v.s[i])
+			h *= 1099511628211
+		}
+	case KindFloat:
+		mix(math.Float64bits(v.f))
+	default:
+		mix(uint64(v.i))
+	}
+	return h
+}
+
+// NullFactory mints fresh labelled nulls and memoizes Skolem applications.
+// Skolem functions are deterministic (same function + arguments yield the
+// same null), injective, and range disjoint (distinct functions never
+// produce the same null), as required by Section 5 of the paper.
+// Every null has a canonical ground key (its Skolem term rendered as a
+// string) used by the dynamic harmful-join elimination to reify null
+// identity into the constant domain.
+type NullFactory struct {
+	next   int64
+	skolem map[string]int64
+	keys   map[int64]string
+}
+
+// NewNullFactory returns a factory whose first fresh null has id 1.
+func NewNullFactory() *NullFactory {
+	return &NullFactory{next: 1, skolem: make(map[string]int64), keys: make(map[int64]string)}
+}
+
+// Fresh returns a brand-new labelled null.
+func (nf *NullFactory) Fresh() Value {
+	id := nf.next
+	nf.next++
+	return Null(id)
+}
+
+// Count returns how many nulls have been minted so far.
+func (nf *NullFactory) Count() int64 { return nf.next - 1 }
+
+// SkolemKey renders the canonical ground key of fn applied to args; two
+// Skolem applications yield equal nulls iff their keys are equal.
+func (nf *NullFactory) SkolemKey(fn string, args ...Value) string {
+	var sb strings.Builder
+	sb.WriteString(fn)
+	for _, a := range args {
+		sb.WriteByte('\x00')
+		sb.WriteString(strconv.Itoa(int(a.kind)))
+		sb.WriteByte('\x01')
+		sb.WriteString(a.String())
+	}
+	return sb.String()
+}
+
+// Skolem returns the labelled null for function fn applied to args,
+// minting it on first use.
+func (nf *NullFactory) Skolem(fn string, args ...Value) Value {
+	key := nf.SkolemKey(fn, args...)
+	if id, ok := nf.skolem[key]; ok {
+		return Null(id)
+	}
+	id := nf.next
+	nf.next++
+	nf.skolem[key] = id
+	nf.keys[id] = key
+	return Null(id)
+}
+
+// KeyOf returns the canonical ground key of a labelled null: its Skolem
+// term when minted by Skolem, or a positional key for fresh nulls.
+func (nf *NullFactory) KeyOf(v Value) string {
+	if !v.IsNull() {
+		return v.String()
+	}
+	if k, ok := nf.keys[v.NullID()]; ok {
+		return k
+	}
+	return "_:n" + strconv.FormatInt(v.NullID(), 10)
+}
+
+// ParseLiteral parses the textual form of a constant: quoted strings,
+// integers, floats, #t/#f booleans. Bare identifiers are returned as
+// string constants. It is the inverse of Value.String for ground values.
+func ParseLiteral(s string) (Value, error) {
+	switch {
+	case s == "":
+		return Value{}, fmt.Errorf("term: empty literal")
+	case s == "#t":
+		return Bool(true), nil
+	case s == "#f":
+		return Bool(false), nil
+	case s[0] == '"':
+		u, err := strconv.Unquote(s)
+		if err != nil {
+			return Value{}, fmt.Errorf("term: bad string literal %s: %w", s, err)
+		}
+		return String(u), nil
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return Int(i), nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return Float(f), nil
+	}
+	return String(s), nil
+}
+
+// SortValues sorts a slice of values in the total order of Compare.
+func SortValues(vs []Value) {
+	sort.Slice(vs, func(i, j int) bool { return Compare(vs[i], vs[j]) < 0 })
+}

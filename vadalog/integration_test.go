@@ -1,0 +1,193 @@
+package vadalog
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/gen/iwarded"
+)
+
+// groundOutputs runs prog over facts and returns the sorted ground facts
+// of every IDB predicate, as one canonical string.
+func groundOutputs(t *testing.T, src string, facts []Fact, opts *Options) string {
+	t.Helper()
+	prog := MustParse(src)
+	sess, err := NewSession(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Load(facts...)
+	if err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for pred := range prog.IDBPreds() {
+		if strings.Contains(pred, "__tag") || strings.HasPrefix(pred, "exl_") {
+			continue
+		}
+		for _, f := range sess.Output(pred) {
+			if f.IsGround() {
+				lines = append(lines, f.String())
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// TestRandomScenarioPolicyAgreement is the central correctness property:
+// on randomly generated warded scenarios, every engine/policy combination
+// that terminates yields the same ground answers.
+func TestRandomScenarioPolicyAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 6; trial++ {
+		mixed := rng.Intn(3)
+		ward := 1 + rng.Intn(3)
+		noward := rng.Intn(3)
+		harmful := rng.Intn(3)
+		cfg := iwarded.Config{
+			Name:      fmt.Sprintf("rand%d", trial),
+			Linear:    6 + rng.Intn(6),
+			Join:      mixed + ward + noward + harmful,
+			LinearRec: rng.Intn(3),
+			JoinRec:   rng.Intn(ward + 1),
+			Exist:     2 + rng.Intn(3),
+			JoinMixed: mixed, JoinWard: ward, JoinNoWard: noward, JoinHarmful: harmful,
+			FactsPerRel:   15,
+			ComponentSize: 3,
+			Seed:          int64(trial),
+		}
+		g, err := iwarded.Generate(cfg)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		base := groundOutputs(t, g.Source, g.Facts, nil)
+		variants := []struct {
+			name string
+			opts Options
+		}{
+			{"chase", Options{Engine: EngineChase}},
+			{"nosummary", Options{Policy: PolicyNoSummary}},
+			{"noindex", Options{DisableDynamicIndex: true}},
+		}
+		if harmful == 0 {
+			// The trivial global isomorphism check is only complete on
+			// harmless programs (paper Example 8); the paper's own Sec. 6.6
+			// comparison uses AllPSC, which has no harmful joins.
+			variants = append(variants, struct {
+				name string
+				opts Options
+			}{"trivial", Options{Policy: PolicyTrivialIso}})
+		}
+		for _, variant := range variants {
+			got := groundOutputs(t, g.Source, g.Facts, &variant.opts)
+			if got != base {
+				t.Errorf("trial %d: %s diverges from pipeline/full\n baseline %d lines, got %d lines",
+					trial, variant.name, len(strings.Split(base, "\n")), len(strings.Split(got, "\n")))
+			}
+		}
+	}
+}
+
+// TestTrivialIsoIncompleteOnHarmfulJoins reproduces paper Example 8: the
+// global isomorphism cut of the trivial technique prunes facts whose
+// subtrees would have fed harmful joins, losing answers that the full
+// strategy (per-tree isomorphism in the warded forest) retains. This is
+// precisely why the paper restricts pruning to Harmless Warded Datalog±
+// and rewrites harmful joins first.
+func TestTrivialIsoIncompleteOnHarmfulJoins(t *testing.T) {
+	src := `
+		company(X) -> psc(X, P).
+		control(Y,X), psc(Y,P) -> psc(X,P).
+		psc(X,P), psc(Y,P), X != Y -> strongLink(X,Y).
+		@output("strongLink").
+	`
+	facts := []Fact{
+		MakeFact("company", Str("a")),
+		MakeFact("company", Str("b")),
+		MakeFact("control", Str("a"), Str("b")),
+	}
+	full := groundOutputs(t, src, facts, nil)
+	trivial := groundOutputs(t, src, facts, &Options{Policy: PolicyTrivialIso})
+	if !strings.Contains(full, "strongLink(a,b)") {
+		t.Fatalf("full strategy must find the link via the shared invented PSC: %q", full)
+	}
+	if strings.Contains(trivial, "strongLink(a,b)") {
+		t.Skip("trivial technique happened to keep the right fact on this ordering")
+	}
+}
+
+// TestStreamMatchesDrain: streaming a predicate yields exactly the facts
+// the drained session materializes.
+func TestStreamMatchesDrain(t *testing.T) {
+	src := `
+		edge(X,Y) -> path(X,Y).
+		path(X,Y), edge(Y,Z) -> path(X,Z).
+		@output("path").
+	`
+	var facts []Fact
+	for i := 0; i < 12; i++ {
+		facts = append(facts, MakeFact("edge", Int(int64(i)), Int(int64((i*3+1)%12))))
+	}
+	drained := groundOutputs(t, src, facts, nil)
+
+	sess, err := NewSession(MustParse(src), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Load(facts...)
+	next := sess.Stream("path")
+	var lines []string
+	for {
+		f, ok, err := next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		lines = append(lines, f.String())
+	}
+	sort.Strings(lines)
+	if got := strings.Join(lines, "\n"); got != drained {
+		t.Errorf("stream (%d) differs from drain (%d)", len(lines), len(strings.Split(drained, "\n")))
+	}
+}
+
+// TestBufferCapacityDoesNotChangeAnswers: evicting indexes under memory
+// pressure must not affect results.
+func TestBufferCapacityDoesNotChangeAnswers(t *testing.T) {
+	cfg, _ := iwarded.Scenario("synthA")
+	cfg.FactsPerRel = 25
+	g, err := iwarded.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := groundOutputs(t, g.Source, g.Facts, nil)
+	tiny := groundOutputs(t, g.Source, g.Facts, &Options{BufferCapacity: 2048})
+	if base != tiny {
+		t.Error("buffer eviction changed answers")
+	}
+}
+
+// TestSkolemPolicyAgreesWhenTerminating: on scenarios without
+// null-generating recursion the Skolem chase terminates and must agree.
+func TestSkolemPolicyAgreesWhenTerminating(t *testing.T) {
+	cfg := iwarded.Config{
+		Name: "skolemsafe", Linear: 8, Join: 4,
+		JoinMixed: 1, JoinWard: 1, JoinNoWard: 1, JoinHarmful: 1,
+		Exist: 2, FactsPerRel: 15, ComponentSize: 3, Seed: 5,
+	}
+	g, err := iwarded.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := groundOutputs(t, g.Source, g.Facts, nil)
+	skolem := groundOutputs(t, g.Source, g.Facts, &Options{Policy: PolicySkolem, MaxDerivations: 2_000_000})
+	if base != skolem {
+		t.Error("skolem chase diverges on a terminating scenario")
+	}
+}

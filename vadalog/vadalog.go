@@ -1,0 +1,404 @@
+// Package vadalog is the public API of this Vadalog system reproduction:
+// a Datalog±-based reasoner for knowledge graphs implementing Warded
+// Datalog± with the termination strategy of Bellomarini, Sallinger and
+// Gottlob (VLDB 2018).
+//
+// A reasoning task is a program (rules + annotations) evaluated over a
+// database of facts:
+//
+//	prog, err := vadalog.Parse(`
+//	    own(X,Y,W), W > 0.5 -> control(X,Y).
+//	    control(X,Y), own(Y,Z,W), V = msum(W, <Y>), V > 0.5 -> control(X,Z).
+//	    @output("control").
+//	`)
+//	sess, err := vadalog.NewSession(prog, nil)
+//	sess.Load(vadalog.MakeFact("own", vadalog.Str("a"), vadalog.Str("b"), vadalog.Flt(0.6)))
+//	err = sess.Run()
+//	for _, f := range sess.Output("control") { ... }
+//
+// The default engine is the streaming pipeline of the paper's Sec. 4; the
+// reference chase engine and the baseline termination policies of the
+// evaluation are selectable through Options.
+package vadalog
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/ast"
+	"repro/internal/baseline"
+	"repro/internal/chase"
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/pipeline"
+	"repro/internal/rewrite"
+	"repro/internal/term"
+)
+
+// Fact is a ground atom over constants and labelled nulls.
+type Fact = ast.Fact
+
+// Value is a typed Vadalog runtime value.
+type Value = term.Value
+
+// Program is a parsed Vadalog program.
+type Program = ast.Program
+
+// Convenience constructors for values and facts.
+var (
+	Str  = term.String
+	Int  = term.Int
+	Flt  = term.Float
+	Bool = term.Bool
+)
+
+// MakeFact builds a fact.
+func MakeFact(pred string, args ...Value) Fact { return ast.NewFact(pred, args...) }
+
+// Engine selects the execution engine.
+type Engine int
+
+// Engines.
+const (
+	// EnginePipeline is the streaming pull pipeline (paper Sec. 4); the
+	// default.
+	EnginePipeline Engine = iota
+	// EngineChase is the reference breadth-first chase (Algorithm 2).
+	EngineChase
+)
+
+// Policy selects the termination policy.
+type Policy int
+
+// Termination policies.
+const (
+	// PolicyFull is Algorithm 1: warded forest + lifted linear forest.
+	PolicyFull Policy = iota
+	// PolicyNoSummary is Algorithm 1 with horizontal pruning disabled
+	// (ablation).
+	PolicyNoSummary
+	// PolicyTrivialIso is the exhaustive isomorphism check of Sec. 6.6.
+	PolicyTrivialIso
+	// PolicyRestricted is the restricted-chase homomorphism check
+	// (Graal/PDQ/LLunatic-like).
+	PolicyRestricted
+	// PolicySkolem is the unrestricted Skolem chase (DLV/RDFox-like).
+	PolicySkolem
+)
+
+// Options tunes a session. The zero value (or nil) gives the production
+// configuration: pipeline engine, full termination strategy, default
+// rewriting.
+type Options struct {
+	Engine Engine
+	Policy Policy
+	// MaxDerivations caps admitted facts (0 = 10M). With baseline
+	// policies this is the safeguard against genuine non-termination.
+	MaxDerivations int
+	// BufferCapacity bounds the pipeline buffer cache (bytes; 0 = off).
+	BufferCapacity int64
+	// RequireWarded fails session creation when the program is not warded.
+	RequireWarded bool
+	// DisableRewriting skips the logic optimizer (harmful joins are then
+	// evaluated directly over Skolem nulls; termination guarantees weaken).
+	DisableRewriting bool
+	// DisableDynamicIndex turns off the slot machine join's dynamic
+	// indexing (ablation benchmarks).
+	DisableDynamicIndex bool
+}
+
+// ErrInconsistent is returned when a negative constraint fires or an EGD
+// equates distinct constants.
+var ErrInconsistent = errors.New("vadalog: knowledge base is inconsistent")
+
+// ErrBudget is returned when the derivation budget is exhausted.
+var ErrBudget = errors.New("vadalog: derivation budget exceeded")
+
+// Parse parses a Vadalog program in the surface syntax of this repository
+// (see README).
+func Parse(src string) (*Program, error) { return parser.Parse(src) }
+
+// MustParse parses src and panics on error.
+func MustParse(src string) *Program { return parser.MustParse(src) }
+
+// Session is one reasoning session over a program.
+type Session struct {
+	opts    Options
+	prog    *ast.Program
+	pl      *pipeline.Session
+	ch      *chase.Engine
+	chRes   *chase.Result
+	pending []ast.Fact
+	ran     bool
+}
+
+// NewSession compiles prog. opts == nil selects the defaults.
+func NewSession(prog *Program, opts *Options) (*Session, error) {
+	o := Options{}
+	if opts != nil {
+		o = *opts
+	}
+	s := &Session{opts: o, prog: prog}
+	var rw *rewrite.Options
+	if o.DisableRewriting {
+		rw = &rewrite.Options{}
+	}
+	newPolicy, disableSummary := policyFactory(o.Policy)
+	switch o.Engine {
+	case EnginePipeline:
+		pl, err := pipeline.New(prog, pipeline.Options{
+			Rewrite:             rw,
+			MaxDerivations:      o.MaxDerivations,
+			BufferCapacity:      o.BufferCapacity,
+			RequireWarded:       o.RequireWarded,
+			NewPolicy:           newPolicy,
+			DisableSummary:      disableSummary,
+			DisableDynamicIndex: o.DisableDynamicIndex,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.pl = pl
+	case EngineChase:
+		ch, err := chase.New(prog, chase.Options{
+			Rewrite:             rw,
+			MaxDerivations:      o.MaxDerivations,
+			RequireWarded:       o.RequireWarded,
+			NewPolicy:           newPolicy,
+			DisableSummary:      disableSummary,
+			DisableDynamicIndex: o.DisableDynamicIndex,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.ch = ch
+	default:
+		return nil, fmt.Errorf("vadalog: unknown engine %d", o.Engine)
+	}
+	return s, nil
+}
+
+func policyFactory(p Policy) (func(*analysis.Result) core.Policy, bool) {
+	switch p {
+	case PolicyNoSummary:
+		return nil, true
+	case PolicyTrivialIso:
+		return func(res *analysis.Result) core.Policy { return baseline.NewTrivialIso(res) }, false
+	case PolicyRestricted:
+		return func(res *analysis.Result) core.Policy { return baseline.NewRestrictedHom(res) }, false
+	case PolicySkolem:
+		return func(res *analysis.Result) core.Policy { return baseline.NewSkolemChase(res) }, false
+	default:
+		return nil, false
+	}
+}
+
+// Load stages facts for the run.
+func (s *Session) Load(facts ...Fact) {
+	if s.pl != nil && s.ran {
+		s.pl.Load(facts...) // incremental load into a running pipeline
+		return
+	}
+	s.pending = append(s.pending, facts...)
+}
+
+// Run executes the reasoning task to completion: it loads any @bind'ed
+// CSV inputs and the staged facts, drains the engine, enforces
+// constraints and EGDs, and writes @bind'ed outputs.
+func (s *Session) Run() error {
+	bound, err := loadBoundInputs(s.prog)
+	if err != nil {
+		return err
+	}
+	facts := append(bound, s.pending...)
+	s.ran = true
+	switch {
+	case s.pl != nil:
+		if err := s.pl.Run(facts); err != nil {
+			return mapErr(err)
+		}
+	default:
+		res, err := s.ch.Run(facts)
+		if err != nil {
+			return mapErr(err)
+		}
+		s.chRes = res
+	}
+	return s.writeBoundOutputs()
+}
+
+func mapErr(err error) error {
+	switch {
+	case errors.Is(err, pipeline.ErrInconsistent), errors.Is(err, chase.ErrInconsistent):
+		return fmt.Errorf("%w: %v", ErrInconsistent, err)
+	case errors.Is(err, pipeline.ErrBudget), errors.Is(err, chase.ErrBudget):
+		return fmt.Errorf("%w: %v", ErrBudget, err)
+	default:
+		return err
+	}
+}
+
+// Output returns the facts of pred with @post directives applied.
+func (s *Session) Output(pred string) []Fact {
+	switch {
+	case s.pl != nil:
+		return s.pl.Output(pred)
+	case s.chRes != nil:
+		return s.chRes.Output(pred)
+	default:
+		return nil
+	}
+}
+
+// Stream pulls facts of pred lazily through the pipeline (volcano next());
+// it falls back to materialized iteration on the chase engine. The
+// returned function yields (fact, true) until exhaustion.
+func (s *Session) Stream(pred string) func() (Fact, bool, error) {
+	if s.pl != nil {
+		if !s.ran {
+			bound, err := loadBoundInputs(s.prog)
+			if err != nil {
+				return func() (Fact, bool, error) { return Fact{}, false, err }
+			}
+			s.pl.Load(append(bound, s.pending...)...)
+			s.ran = true
+		}
+		n := 0
+		return func() (Fact, bool, error) {
+			f, ok, err := s.pl.Next(pred, n)
+			if ok {
+				n++
+			}
+			return f, ok, mapNilErr(err)
+		}
+	}
+	var facts []Fact
+	i := 0
+	loaded := false
+	return func() (Fact, bool, error) {
+		if !loaded {
+			if s.chRes == nil {
+				if err := s.Run(); err != nil {
+					return Fact{}, false, err
+				}
+			}
+			facts = s.chRes.Output(pred)
+			loaded = true
+		}
+		if i >= len(facts) {
+			return Fact{}, false, nil
+		}
+		f := facts[i]
+		i++
+		return f, true, nil
+	}
+}
+
+func mapNilErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	return mapErr(err)
+}
+
+// Derivations reports the number of admitted facts (EDB included).
+func (s *Session) Derivations() int {
+	switch {
+	case s.pl != nil:
+		return s.pl.Derivations()
+	case s.chRes != nil:
+		return s.chRes.Derivations
+	default:
+		return 0
+	}
+}
+
+// StrategyStats returns the termination-strategy counters when the full
+// strategy is in use.
+func (s *Session) StrategyStats() (core.Stats, bool) {
+	var pol core.Policy
+	switch {
+	case s.pl != nil:
+		pol = s.pl.Strategy()
+	case s.chRes != nil:
+		pol = s.chRes.Strategy
+	}
+	if st, ok := pol.(*core.Strategy); ok {
+		return st.Stats(), true
+	}
+	return core.Stats{}, false
+}
+
+// Reason is the one-shot entry point: parse nothing, just run prog over
+// facts and collect the outputs of the @output predicates (all IDB
+// predicates when none are declared).
+func Reason(prog *Program, facts []Fact, opts *Options) (map[string][]Fact, error) {
+	s, err := NewSession(prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.Load(facts...)
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	out := make(map[string][]Fact)
+	preds := prog.Outputs
+	if len(preds) == 0 {
+		preds = prog.IDBPreds()
+	}
+	for pred := range preds {
+		out[pred] = s.Output(pred)
+	}
+	return out, nil
+}
+
+// PlanString compiles prog with the default options and renders its
+// reasoning access plan (the logic compiler's filter pipeline, paper
+// Sec. 4) without running it.
+func PlanString(prog *Program) (string, error) {
+	pl, err := pipeline.New(prog, pipeline.Options{})
+	if err != nil {
+		return "", err
+	}
+	return pl.Plan(), nil
+}
+
+// Check analyzes prog and returns a wardedness report without running it.
+func Check(prog *Program) *Report {
+	res := analysis.Analyze(prog)
+	st := analysis.ComputeStats(prog)
+	rep := &Report{Warded: res.Warded, Violations: res.Violations, Stats: st}
+	g := analysis.BuildDependencyGraph(prog)
+	rep.Recursive = len(g.RecursivePreds()) > 0
+	if _, err := analysis.Stratify(prog); err != nil {
+		rep.Stratified = false
+		rep.Violations = append(rep.Violations, err.Error())
+	} else {
+		rep.Stratified = true
+	}
+	return rep
+}
+
+// Report is the static analysis summary of a program.
+type Report struct {
+	Warded     bool
+	Stratified bool
+	Recursive  bool
+	Violations []string
+	Stats      analysis.Stats
+}
+
+// String renders the report for CLI display.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "warded: %v, stratified: %v, recursive: %v\n", r.Warded, r.Stratified, r.Recursive)
+	fmt.Fprintf(&sb, "rules: %d linear, %d join (%d mixed, %d ward, %d plain, %d harmful), %d with existentials\n",
+		r.Stats.LinearRules, r.Stats.JoinRules, r.Stats.MixedJoins, r.Stats.HarmlessWithWard,
+		r.Stats.HarmlessNoWard, r.Stats.HarmfulJoins, r.Stats.ExistentialRules)
+	for _, v := range r.Violations {
+		fmt.Fprintf(&sb, "violation: %s\n", v)
+	}
+	return sb.String()
+}
