@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/baseline"
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/gen/dbpedia"
 	"repro/internal/gen/doctors"
@@ -25,6 +26,8 @@ import (
 	"repro/internal/gen/iwarded"
 	"repro/internal/gen/lubm"
 	"repro/internal/parser"
+	"repro/internal/storage"
+	"repro/internal/term"
 	"repro/vadalog"
 )
 
@@ -472,6 +475,144 @@ func BenchmarkAblation_Engine(b *testing.B) {
 			runOnce(b, dbpedia.PSCProgram, data.All(), "psc", &opts)
 		}
 	})
+}
+
+// BenchmarkMicroInsert measures per-fact insert cost (interning, hashed
+// duplicate check, tuple append) on a fresh relation per batch.
+func BenchmarkMicroInsert(b *testing.B) {
+	const n = 10_000
+	facts := make([]ast.Fact, n)
+	for i := range facts {
+		facts[i] = ast.NewFact("p",
+			term.String(fmt.Sprintf("c%d", i%997)),
+			term.Int(int64(i)),
+			term.Int(int64(i%131)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db := storage.NewDatabase()
+		rel := db.Rel("p", 3)
+		for _, f := range facts {
+			rel.Insert(&core.FactMeta{Fact: f})
+		}
+		if rel.Len() != n {
+			b.Fatalf("len: %d", rel.Len())
+		}
+	}
+	b.ReportMetric(float64(n), "facts/op")
+}
+
+// BenchmarkMicroIndexedProbe measures one indexed lookup through the
+// value boundary (Lookup: IDOf translation + hashed probe). The dynamic
+// index is fully built before timing; the acceptance target is ≥2× fewer
+// allocations per probe than the former string-key path (which allocated
+// a rendered key per probe; this path allocates none).
+func BenchmarkMicroIndexedProbe(b *testing.B) {
+	const n = 10_000
+	db := storage.NewDatabase()
+	rel := db.Rel("p", 3)
+	for i := 0; i < n; i++ {
+		rel.Insert(&core.FactMeta{Fact: ast.NewFact("p",
+			term.String(fmt.Sprintf("c%d", i%997)),
+			term.Int(int64(i)),
+			term.Int(int64(i%131)))})
+	}
+	probe := []term.Value{term.String("c123"), {}, {}}
+	rel.Lookup(1, probe) // build the index outside the timed loop
+	b.ReportAllocs()
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		probe[0] = term.String(probeNames[i%len(probeNames)])
+		total += len(rel.Lookup(1, probe))
+	}
+	if total == 0 {
+		b.Fatal("probes matched nothing")
+	}
+}
+
+var probeNames = func() []string {
+	out := make([]string, 64)
+	for i := range out {
+		out[i] = fmt.Sprintf("c%d", i*13%997)
+	}
+	return out
+}()
+
+// BenchmarkMicroIndexedProbeIDs measures the pure ID-space probe the
+// matcher's hot loop uses (no value translation at all).
+func BenchmarkMicroIndexedProbeIDs(b *testing.B) {
+	const n = 10_000
+	db := storage.NewDatabase()
+	rel := db.Rel("p", 3)
+	for i := 0; i < n; i++ {
+		rel.Insert(&core.FactMeta{Fact: ast.NewFact("p",
+			term.String(fmt.Sprintf("c%d", i%997)),
+			term.Int(int64(i)),
+			term.Int(int64(i%131)))})
+	}
+	in := db.Interner()
+	ids := make([]uint32, len(probeNames))
+	for i, s := range probeNames {
+		id, ok := in.IDOf(term.String(s))
+		if !ok {
+			b.Fatalf("probe constant %q not interned", s)
+		}
+		ids[i] = id
+	}
+	probe := make([]uint32, 3)
+	probe[0] = ids[0]
+	rel.LookupIDs(1, probe) // build the index outside the timed loop
+	b.ReportAllocs()
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		probe[0] = ids[i%len(ids)]
+		total += len(rel.LookupIDs(1, probe))
+	}
+	if total == 0 {
+		b.Fatal("probes matched nothing")
+	}
+}
+
+// BenchmarkScenario_CompanyControl runs the full companycontrol example
+// (Example 2, monotonic msum over a scale-free ownership graph) end to
+// end, allocations reported.
+func BenchmarkScenario_CompanyControl(b *testing.B) {
+	n := int(50_000 * benchScale())
+	if n < 200 {
+		n = 200
+	}
+	g := graphs.RealLike(n, 42)
+	facts := g.OwnFacts()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runOnce(b, graphs.ControlProgram, facts, "control", nil)
+	}
+}
+
+// BenchmarkScenario_IWarded runs one representative iWarded scenario
+// (synthA) end to end, allocations reported.
+func BenchmarkScenario_IWarded(b *testing.B) {
+	cfg, ok := iwarded.Scenario("synthA")
+	if !ok {
+		b.Fatal("synthA scenario missing")
+	}
+	cfg.FactsPerRel = int(1000 * benchScale() * 10)
+	if cfg.FactsPerRel < 40 {
+		cfg.FactsPerRel = 40
+	}
+	g, err := iwarded.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runOnce(b, g.Source, g.Facts, "", nil)
+	}
 }
 
 // TestExperimentTablesSmoke regenerates two representative tables end to

@@ -249,8 +249,8 @@ func (e *Engine) emit(ri int, cr *eval.CompiledRule, b *eval.Binding) error {
 	case rule.IsConstraint:
 		return fmt.Errorf("%w: constraint fired: %s", ErrInconsistent, rule.String())
 	case rule.EGD != nil:
-		l := b.Vals[cr.VarSlot[rule.EGD.Left]]
-		r := b.Vals[cr.VarSlot[rule.EGD.Right]]
+		l := b.Val(cr.VarSlot[rule.EGD.Left])
+		r := b.Val(cr.VarSlot[rule.EGD.Right])
 		if err := e.subst.Unify(l, r); err != nil {
 			return fmt.Errorf("%w: %v (egd %s)", ErrInconsistent, err, rule.String())
 		}
@@ -259,20 +259,20 @@ func (e *Engine) emit(ri int, cr *eval.CompiledRule, b *eval.Binding) error {
 	if cr.Agg != nil {
 		group := make([]term.Value, len(cr.Agg.GroupSlots))
 		for i, s := range cr.Agg.GroupSlots {
-			group[i] = b.Vals[s]
+			group[i] = b.Val(s)
 		}
 		contrib := make([]term.Value, len(cr.Agg.ContribSlots))
 		for i, s := range cr.Agg.ContribSlots {
-			contrib[i] = b.Vals[s]
+			contrib[i] = b.Val(s)
 		}
 		var x term.Value
 		if cr.Agg.ArgSlot >= 0 {
-			x = b.Vals[cr.Agg.ArgSlot]
+			x = b.Val(cr.Agg.ArgSlot)
 		} else {
 			envVals := map[string]term.Value{}
 			for v, s := range cr.VarSlot {
 				if b.Bound[s] {
-					envVals[v] = b.Vals[s]
+					envVals[v] = b.Val(s)
 				}
 			}
 			var err error
@@ -285,12 +285,11 @@ func (e *Engine) emit(ri int, cr *eval.CompiledRule, b *eval.Binding) error {
 		if err != nil {
 			return err
 		}
-		b.Vals[cr.Agg.ResultSlot] = agg
-		b.Bound[cr.Agg.ResultSlot] = true
+		b.Set(cr.Agg.ResultSlot, agg)
 		for i := range e.postAgg[ri] {
 			c := &e.postAgg[ri][i]
 			if c.Fast {
-				if !c.EvalFast(b.Vals) {
+				if !c.EvalFast(b) {
 					return nil
 				}
 				continue
@@ -298,7 +297,7 @@ func (e *Engine) emit(ri int, cr *eval.CompiledRule, b *eval.Binding) error {
 			envVals := map[string]term.Value{rule.Aggregate.Result: agg}
 			for v, s := range cr.VarSlot {
 				if b.Bound[s] {
-					envVals[v] = b.Vals[s]
+					envVals[v] = b.Val(s)
 				}
 			}
 			ok, err := ast.EvalCondition(c.Cond, envVals)

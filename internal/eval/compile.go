@@ -75,14 +75,15 @@ func (c *CCond) compileFast(varSlot map[string]int) {
 	}
 }
 
-// EvalFast evaluates a fast-path condition against the slot values.
-func (c *CCond) EvalFast(vals []term.Value) bool {
+// EvalFast evaluates a fast-path condition against the binding's slots,
+// decoding interned IDs to values only for the two sides involved.
+func (c *CCond) EvalFast(b *Binding) bool {
 	l, r := c.LConst, c.RConst
 	if c.LSlot >= 0 {
-		l = vals[c.LSlot]
+		l = b.Val(c.LSlot)
 	}
 	if c.RSlot >= 0 {
-		r = vals[c.RSlot]
+		r = b.Val(c.RSlot)
 	}
 	if l.IsNull() || r.IsNull() {
 		switch c.Cond.Op {

@@ -38,8 +38,12 @@ func collectMatches(t *testing.T, cr *CompiledRule, db *storage.Database, pinned
 	b := NewBinding(cr)
 	var out [][]term.Value
 	err := mt.MatchPinned(cr, pinned, m, b, func(b *Binding) error {
-		row := make([]term.Value, len(b.Vals))
-		copy(row, b.Vals)
+		row := make([]term.Value, len(b.IDs))
+		for s := range row {
+			if b.Bound[s] {
+				row[s] = b.Val(s)
+			}
+		}
 		out = append(out, row)
 		return nil
 	})

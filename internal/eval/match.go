@@ -9,20 +9,30 @@ import (
 	"repro/internal/term"
 )
 
-// Binding is the runtime slot environment of one rule evaluation. Buffers
-// are reused across matches of the same rule; Reset clears them.
+// Binding is the runtime slot environment of one rule evaluation. Slots
+// bound by atom matching hold interned term IDs (IDs); slots bound to
+// computed values — assignments, aggregate results, existential nulls —
+// hold the term.Value itself in an overlay (vals/hasVal) so transient
+// intermediate values never pollute the database interner. Values are
+// decoded only at expression-evaluation and output boundaries via Val.
+// Buffers are reused across matches of the same rule.
 type Binding struct {
-	Vals  []term.Value
+	IDs   []uint32
 	Bound []bool
 	// Parents collects the fact metadata matched per positive atom, in Pos
 	// order, for the termination strategy.
 	Parents []*core.FactMeta
 
+	in *storage.Interner // set by the Matcher on each MatchPinned
+
+	hasVal []bool
+	vals   []term.Value
+
 	envBuf map[string]term.Value
 	// probes holds one reusable lookup buffer per positive body atom;
 	// negProbes per negated atom; skArgs for Skolem argument evaluation.
-	probes    [][]term.Value
-	negProbes [][]term.Value
+	probes    [][]uint32
+	negProbes [][]uint32
 	skArgs    []term.Value
 	newly     []int
 }
@@ -30,21 +40,55 @@ type Binding struct {
 // NewBinding allocates a binding for cr.
 func NewBinding(cr *CompiledRule) *Binding {
 	b := &Binding{
-		Vals:    make([]term.Value, cr.NSlots),
+		IDs:     make([]uint32, cr.NSlots),
 		Bound:   make([]bool, cr.NSlots),
+		hasVal:  make([]bool, cr.NSlots),
+		vals:    make([]term.Value, cr.NSlots),
 		Parents: make([]*core.FactMeta, len(cr.Pos)),
 		envBuf:  make(map[string]term.Value),
-		probes:  make([][]term.Value, len(cr.Pos)),
+		probes:  make([][]uint32, len(cr.Pos)),
 		newly:   make([]int, 0, cr.NSlots),
 	}
 	for i := range cr.Pos {
-		b.probes[i] = make([]term.Value, cr.Pos[i].arity())
+		b.probes[i] = make([]uint32, cr.Pos[i].arity())
 	}
-	b.negProbes = make([][]term.Value, len(cr.Neg))
+	b.negProbes = make([][]uint32, len(cr.Neg))
 	for i := range cr.Neg {
-		b.negProbes[i] = make([]term.Value, cr.Neg[i].arity())
+		b.negProbes[i] = make([]uint32, cr.Neg[i].arity())
 	}
 	return b
+}
+
+// Val decodes the value bound in slot s.
+func (b *Binding) Val(s int) term.Value {
+	if b.hasVal[s] {
+		return b.vals[s]
+	}
+	return b.in.ValueOf(b.IDs[s])
+}
+
+// Set binds slot s to a computed value without interning it.
+func (b *Binding) Set(s int, v term.Value) {
+	b.vals[s] = v
+	b.hasVal[s] = true
+	b.Bound[s] = true
+}
+
+// bindID binds slot s to an interned ID (atom matching).
+func (b *Binding) bindID(s int, id uint32) {
+	b.IDs[s] = id
+	b.hasVal[s] = false
+	b.Bound[s] = true
+}
+
+// slotID returns the interned ID of the (bound) slot s; ok is false when
+// the slot holds a computed value absent from the interner, i.e. a value
+// occurring in no stored fact.
+func (b *Binding) slotID(s int) (uint32, bool) {
+	if b.hasVal[s] {
+		return b.in.IDOf(b.vals[s])
+	}
+	return b.IDs[s], true
 }
 
 // env materializes a variable->value map for expression evaluation,
@@ -53,7 +97,7 @@ func (b *Binding) env(cr *CompiledRule, deps []int) map[string]term.Value {
 	clear(b.envBuf)
 	for v, s := range cr.VarSlot {
 		if b.Bound[s] {
-			b.envBuf[v] = b.Vals[s]
+			b.envBuf[v] = b.Val(s)
 		}
 	}
 	_ = deps
@@ -82,14 +126,18 @@ func unifyPinned(b *Binding, a *CAtom, m *core.FactMeta) bool {
 			}
 			continue
 		}
+		// Pinned facts are (in practice) stored facts, so interning here
+		// is a lookup; it also keeps exotic callers with foreign metas
+		// decodable.
+		id := b.in.Intern(f.Args[i])
 		s := a.Slot[i]
 		if b.Bound[s] {
-			if b.Vals[s] != f.Args[i] {
+			sid, ok := b.slotID(s)
+			if !ok || sid != id {
 				return false
 			}
 		} else {
-			b.Bound[s] = true
-			b.Vals[s] = f.Args[i]
+			b.bindID(s, id)
 		}
 	}
 	return true
@@ -103,8 +151,10 @@ func unifyPinned(b *Binding, a *CAtom, m *core.FactMeta) bool {
 // When pinned == len(cr.Pos) the rule is evaluated without a pin (naive
 // evaluation over the whole database).
 func (mt *Matcher) MatchPinned(cr *CompiledRule, pinned int, pinnedMeta *core.FactMeta, b *Binding, emit func(b *Binding) error) error {
+	b.in = mt.DB.Interner()
 	for i := range b.Bound {
 		b.Bound[i] = false
+		b.hasVal[i] = false
 	}
 	for i := range b.Parents {
 		b.Parents[i] = nil
@@ -133,7 +183,7 @@ func (mt *Matcher) runSteps(cr *CompiledRule, steps []Step, si int, b *Binding, 
 		case StepCond:
 			c := &cr.Conds[st.Index]
 			if c.Fast {
-				if !c.EvalFast(b.Vals) {
+				if !c.EvalFast(b) {
 					return nil
 				}
 				continue
@@ -160,7 +210,14 @@ func (mt *Matcher) runSteps(cr *CompiledRule, steps []Step, si int, b *Binding, 
 		}
 	}
 	for _, s := range cr.DomSlots {
-		if !b.Bound[s] || !mt.DB.InActiveDomain(b.Vals[s]) {
+		if !b.Bound[s] {
+			return nil
+		}
+		if b.hasVal[s] {
+			if !mt.DB.InActiveDomain(b.vals[s]) {
+				return nil
+			}
+		} else if !mt.DB.InActiveDomainID(b.IDs[s]) {
 			return nil
 		}
 	}
@@ -168,7 +225,9 @@ func (mt *Matcher) runSteps(cr *CompiledRule, steps []Step, si int, b *Binding, 
 }
 
 // matchAtom enumerates the facts matching Pos[ai] under the current
-// binding using the dynamic index, then recurses into the remaining steps.
+// binding using the dynamic index, then recurses into the remaining
+// steps. Probes and candidate verification work entirely on interned
+// IDs; no probe allocates or renders values.
 func (mt *Matcher) matchAtom(cr *CompiledRule, steps []Step, si int, ai int, b *Binding, emit func(b *Binding) error) error {
 	a := &cr.Pos[ai]
 	rel := mt.DB.Lookup(a.Pred)
@@ -182,37 +241,50 @@ func (mt *Matcher) matchAtom(cr *CompiledRule, steps []Step, si int, ai int, b *
 	var mask uint32
 	for i, isv := range a.IsVar {
 		if !isv {
+			id, ok := b.in.IDOf(a.Const[i])
+			if !ok {
+				return nil // constant occurs in no stored fact
+			}
 			mask |= 1 << uint(i)
-			probe[i] = a.Const[i]
+			probe[i] = id
 		} else if b.Bound[a.Slot[i]] {
+			id, ok := b.slotID(a.Slot[i])
+			if !ok {
+				return nil // bound value occurs in no stored fact
+			}
 			mask |= 1 << uint(i)
-			probe[i] = b.Vals[a.Slot[i]]
+			probe[i] = id
 		}
 	}
-	rows := rel.Lookup(mask, probe)
+	rows := rel.LookupIDs(mask, probe)
 	markNewly := len(b.newly)
-	for _, row := range rows {
-		m := rel.At(int(row))
-		f := m.Fact
+	for _, rowIdx := range rows {
+		row := rel.Row(int(rowIdx))
 		ok := true
 		for i, isv := range a.IsVar {
 			if !isv || mask&(1<<uint(i)) != 0 {
 				continue // constants and pre-bound positions guaranteed by index
 			}
+			if row[i] == 0 {
+				// Arity-padding ID (restrided relation): the fact has no
+				// value at this position, so it cannot match the atom.
+				ok = false
+				break
+			}
 			s := a.Slot[i]
 			if b.Bound[s] {
-				if b.Vals[s] != f.Args[i] { // repeated variable within atom
+				sid, sok := b.slotID(s)
+				if !sok || sid != row[i] { // repeated variable within atom
 					ok = false
 					break
 				}
 			} else {
-				b.Bound[s] = true
-				b.Vals[s] = f.Args[i]
+				b.bindID(s, row[i])
 				b.newly = append(b.newly, s)
 			}
 		}
 		if ok {
-			b.Parents[ai] = m
+			b.Parents[ai] = rel.At(int(rowIdx))
 			if err := mt.runSteps(cr, steps, si+1, b, emit); err != nil {
 				return err
 			}
@@ -230,7 +302,7 @@ func (mt *Matcher) matchAtom(cr *CompiledRule, steps []Step, si int, ai int, b *
 
 // negCount returns how many stored facts match the (fully bound) negated
 // atom.
-func (mt *Matcher) negCount(a *CAtom, b *Binding, probe []term.Value) (int, error) {
+func (mt *Matcher) negCount(a *CAtom, b *Binding, probe []uint32) (int, error) {
 	rel := mt.DB.Lookup(a.Pred)
 	if rel == nil {
 		return 0, nil
@@ -238,8 +310,12 @@ func (mt *Matcher) negCount(a *CAtom, b *Binding, probe []term.Value) (int, erro
 	var mask uint32
 	for i, isv := range a.IsVar {
 		if !isv {
+			id, ok := b.in.IDOf(a.Const[i])
+			if !ok {
+				return 0, nil // constant occurs in no stored fact
+			}
 			mask |= 1 << uint(i)
-			probe[i] = a.Const[i]
+			probe[i] = id
 			continue
 		}
 		s := a.Slot[i]
@@ -247,10 +323,14 @@ func (mt *Matcher) negCount(a *CAtom, b *Binding, probe []term.Value) (int, erro
 			// Anonymous variable in a negated atom: wildcard position.
 			continue
 		}
+		id, ok := b.slotID(s)
+		if !ok {
+			return 0, nil
+		}
 		mask |= 1 << uint(i)
-		probe[i] = b.Vals[s]
+		probe[i] = id
 	}
-	return rel.LookupCount(mask, probe), nil
+	return rel.LookupCountIDs(mask, probe), nil
 }
 
 // evalAssign computes one assignment; Skolem calls mint deterministic
@@ -268,16 +348,14 @@ func (mt *Matcher) evalAssign(cr *CompiledRule, a *CAssign, b *Binding) (bool, e
 			}
 			b.skArgs = append(b.skArgs, v)
 		}
-		b.Vals[a.Slot] = mt.DB.Nulls.Skolem(a.SkName, b.skArgs...)
-		b.Bound[a.Slot] = true
+		b.Set(a.Slot, mt.DB.Nulls.Skolem(a.SkName, b.skArgs...))
 		return true, nil
 	}
 	v, err := a.Expr.Eval(b.env(cr, a.Deps))
 	if err != nil {
 		return false, err
 	}
-	b.Vals[a.Slot] = v
-	b.Bound[a.Slot] = true
+	b.Set(a.Slot, v)
 	return true, nil
 }
 
@@ -287,15 +365,15 @@ func (mt *Matcher) InstantiateExistentials(cr *CompiledRule, b *Binding) {
 	for _, ex := range cr.Exists {
 		b.skArgs = b.skArgs[:0]
 		for _, s := range ex.ArgSlots {
-			b.skArgs = append(b.skArgs, b.Vals[s])
+			b.skArgs = append(b.skArgs, b.Val(s))
 		}
-		b.Vals[ex.Slot] = mt.DB.Nulls.Skolem(ex.SkName, b.skArgs...)
-		b.Bound[ex.Slot] = true
+		b.Set(ex.Slot, mt.DB.Nulls.Skolem(ex.SkName, b.skArgs...))
 	}
 }
 
 // HeadFacts materializes the head atoms of cr under b (after existential
 // instantiation), applying the null substitution subst when non-nil.
+// This is the decode boundary: interned slot IDs become term.Values.
 func HeadFacts(cr *CompiledRule, b *Binding, subst *NullSubst) ([]ast.Fact, error) {
 	out := make([]ast.Fact, 0, len(cr.Heads))
 	for hi := range cr.Heads {
@@ -310,7 +388,7 @@ func HeadFacts(cr *CompiledRule, b *Binding, subst *NullSubst) ([]ast.Fact, erro
 			if !b.Bound[s] {
 				return nil, fmt.Errorf("eval: head variable slot %d unbound in rule %d", s, cr.Rule.ID)
 			}
-			v := b.Vals[s]
+			v := b.Val(s)
 			if subst != nil {
 				v = subst.Resolve(v)
 			}

@@ -418,8 +418,8 @@ func (s *Session) emit(f *ruleFilter, b *eval.Binding) (int, error) {
 	case rule.IsConstraint:
 		return 0, fmt.Errorf("%w: constraint fired: %s", ErrInconsistent, rule.String())
 	case rule.EGD != nil:
-		l := b.Vals[cr.VarSlot[rule.EGD.Left]]
-		r := b.Vals[cr.VarSlot[rule.EGD.Right]]
+		l := b.Val(cr.VarSlot[rule.EGD.Left])
+		r := b.Val(cr.VarSlot[rule.EGD.Right])
 		if err := s.subst.Unify(l, r); err != nil {
 			return 0, fmt.Errorf("%w: %v (egd %s)", ErrInconsistent, err, rule.String())
 		}
@@ -428,20 +428,20 @@ func (s *Session) emit(f *ruleFilter, b *eval.Binding) (int, error) {
 	if cr.Agg != nil {
 		group := make([]term.Value, len(cr.Agg.GroupSlots))
 		for i, sl := range cr.Agg.GroupSlots {
-			group[i] = b.Vals[sl]
+			group[i] = b.Val(sl)
 		}
 		contrib := make([]term.Value, len(cr.Agg.ContribSlots))
 		for i, sl := range cr.Agg.ContribSlots {
-			contrib[i] = b.Vals[sl]
+			contrib[i] = b.Val(sl)
 		}
 		var x term.Value
 		if cr.Agg.ArgSlot >= 0 {
-			x = b.Vals[cr.Agg.ArgSlot]
+			x = b.Val(cr.Agg.ArgSlot)
 		} else {
 			env := map[string]term.Value{}
 			for v, sl := range cr.VarSlot {
 				if b.Bound[sl] {
-					env[v] = b.Vals[sl]
+					env[v] = b.Val(sl)
 				}
 			}
 			var err error
@@ -454,12 +454,11 @@ func (s *Session) emit(f *ruleFilter, b *eval.Binding) (int, error) {
 		if err != nil {
 			return 0, err
 		}
-		b.Vals[cr.Agg.ResultSlot] = agg
-		b.Bound[cr.Agg.ResultSlot] = true
+		b.Set(cr.Agg.ResultSlot, agg)
 		for i := range f.postAgg {
 			c := &f.postAgg[i]
 			if c.Fast {
-				if !c.EvalFast(b.Vals) {
+				if !c.EvalFast(b) {
 					return 0, nil
 				}
 				continue
@@ -467,7 +466,7 @@ func (s *Session) emit(f *ruleFilter, b *eval.Binding) (int, error) {
 			env := map[string]term.Value{rule.Aggregate.Result: agg}
 			for v, sl := range cr.VarSlot {
 				if b.Bound[sl] {
-					env[v] = b.Vals[sl]
+					env[v] = b.Val(sl)
 				}
 			}
 			ok, err := ast.EvalCondition(c.Cond, env)

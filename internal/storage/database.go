@@ -9,8 +9,9 @@ import (
 )
 
 // Database is the in-memory instance the engines operate on: one relation
-// per predicate, a null factory, and the active constant domain (ACDom)
-// collected from EDB facts (paper Sec. 2, Modeling Features).
+// per predicate, a null factory, the database-wide term interner shared
+// by all relations, and the active constant domain (ACDom) collected
+// from EDB facts (paper Sec. 2, Modeling Features).
 type Database struct {
 	rels  map[string]*Relation
 	names []string
@@ -19,7 +20,8 @@ type Database struct {
 	// that repeated rule firings are deterministic.
 	Nulls *term.NullFactory
 
-	activeDom map[term.Value]bool
+	in        *Interner
+	activeDom map[uint32]struct{} // interned IDs of ACDom constants
 	noIndex   bool
 }
 
@@ -28,9 +30,13 @@ func NewDatabase() *Database {
 	return &Database{
 		rels:      make(map[string]*Relation),
 		Nulls:     term.NewNullFactory(),
-		activeDom: make(map[term.Value]bool),
+		in:        NewInterner(),
+		activeDom: make(map[uint32]struct{}),
 	}
 }
+
+// Interner returns the database-wide symbol table.
+func (db *Database) Interner() *Interner { return db.in }
 
 // DisableIndexes makes every relation (present and future) scan instead
 // of using dynamic indexes — the slot-machine-join ablation.
@@ -46,7 +52,7 @@ func (db *Database) DisableIndexes() {
 func (db *Database) Rel(pred string, arity int) *Relation {
 	r := db.rels[pred]
 	if r == nil {
-		r = NewRelation(pred, arity)
+		r = NewRelationInterned(pred, arity, db.in)
 		r.SetNoIndex(db.noIndex)
 		db.rels[pred] = r
 		db.names = append(db.names, pred)
@@ -81,7 +87,7 @@ func (db *Database) InsertEDB(f ast.Fact, strat core.Policy) bool {
 	rel.Insert(m)
 	for _, v := range f.Args {
 		if v.IsGround() {
-			db.activeDom[v] = true
+			db.activeDom[db.in.Intern(v)] = struct{}{}
 		}
 	}
 	return true
@@ -89,7 +95,22 @@ func (db *Database) InsertEDB(f ast.Fact, strat core.Policy) bool {
 
 // InActiveDomain reports whether v is a constant of the active domain.
 func (db *Database) InActiveDomain(v term.Value) bool {
-	return v.IsGround() && db.activeDom[v]
+	if !v.IsGround() {
+		return false
+	}
+	id, ok := db.in.IDOf(v)
+	if !ok {
+		return false
+	}
+	_, in := db.activeDom[id]
+	return in
+}
+
+// InActiveDomainID reports whether the interned ID denotes an ACDom
+// constant.
+func (db *Database) InActiveDomainID(id uint32) bool {
+	_, in := db.activeDom[id]
+	return in
 }
 
 // ActiveDomainSize returns |ACDom|.
@@ -104,9 +125,10 @@ func (db *Database) TotalFacts() int {
 	return n
 }
 
-// Bytes returns the rough retained size of all relations and indexes.
+// Bytes returns the rough retained size of all relations and indexes,
+// plus the shared symbol table.
 func (db *Database) Bytes() int64 {
-	var b int64
+	b := db.in.Bytes()
 	for _, r := range db.rels {
 		b += r.Bytes()
 	}

@@ -1,0 +1,103 @@
+package storage
+
+import (
+	"math"
+
+	"repro/internal/term"
+)
+
+// Interner is the database-wide symbol table: it maps each distinct
+// term.Value to a dense uint32 ID and back. Relations store facts as
+// interned tuples ([]uint32), so duplicate checks and index probes
+// compare and hash machine words instead of rendered strings.
+//
+// ID 0 is reserved as "invalid / absent"; real IDs start at 1. Labelled
+// nulls intern like any other value: two nulls receive the same ID iff
+// they have the same null identity (term.Value equality), so null
+// identity survives interning exactly.
+//
+// Equality semantics: IDs coincide iff the term.Values are identical
+// (strict Value identity; float NaNs excepted, see nanID). This is a
+// deliberate cleanup over the rendered-string keys it replaces, which
+// conflated values with equal renderings — notably Int(1) and
+// Float(1.0) — in duplicate checks and index probes while unification
+// kept them distinct. Interned storage applies strict identity
+// uniformly across dedup, indexes and unification; numeric-widening
+// comparison remains available in conditions via term.Equal/Compare.
+//
+// Concurrency: the Interner is single-writer. IDOf and ValueOf are safe
+// to call from multiple goroutines only while no Intern call is in
+// flight (reads touch the map and the slice without synchronization).
+// Both engines are single-goroutine today; a future parallel engine
+// must either shard interners or wrap Intern in its own mutex.
+type Interner struct {
+	ids  map[term.Value]uint32
+	vals []term.Value
+	// nanID is the single ID shared by all float NaN values: NaN never
+	// compares equal to itself, so it can never be found in ids; the
+	// rendered-key representation this replaces collapsed every NaN to
+	// the string "NaN", and conflating them here preserves that exact
+	// duplicate-detection behaviour (and with it chase termination).
+	nanID uint32
+	bytes int64
+}
+
+func isNaN(v term.Value) bool {
+	return v.Kind() == term.KindFloat && math.IsNaN(v.FloatVal())
+}
+
+// NewInterner returns an empty interner; slot 0 holds the invalid Value.
+func NewInterner() *Interner {
+	return &Interner{
+		ids:  make(map[term.Value]uint32),
+		vals: make([]term.Value, 1),
+	}
+}
+
+// Intern returns the ID of v, assigning the next dense ID on first use.
+// All float NaNs intern to one shared ID (see nanID).
+func (in *Interner) Intern(v term.Value) uint32 {
+	if isNaN(v) {
+		if in.nanID == 0 {
+			in.nanID = uint32(len(in.vals))
+			in.vals = append(in.vals, v)
+			in.bytes += 64
+		}
+		return in.nanID
+	}
+	if id, ok := in.ids[v]; ok {
+		return id
+	}
+	id := uint32(len(in.vals))
+	in.ids[v] = id
+	in.vals = append(in.vals, v)
+	// Value struct + string payload + map entry overhead.
+	in.bytes += int64(len(v.Str())) + 64
+	return id
+}
+
+// IDOf returns the ID of v without interning it; ok is false when v has
+// never been interned (hence occurs in no stored fact).
+func (in *Interner) IDOf(v term.Value) (uint32, bool) {
+	if isNaN(v) {
+		return in.nanID, in.nanID != 0
+	}
+	id, ok := in.ids[v]
+	return id, ok
+}
+
+// ValueOf decodes an ID back to its Value. ID 0 (and any out-of-range
+// ID) decodes to the invalid zero Value.
+func (in *Interner) ValueOf(id uint32) term.Value {
+	if int(id) >= len(in.vals) {
+		return term.Value{}
+	}
+	return in.vals[id]
+}
+
+// Len returns the number of interned values (excluding the reserved
+// invalid slot).
+func (in *Interner) Len() int { return len(in.vals) - 1 }
+
+// Bytes returns the rough retained size of the symbol table.
+func (in *Interner) Bytes() int64 { return in.bytes }

@@ -3,24 +3,79 @@
 // dynamic in-memory indexes that back the slot-machine join (paper
 // Sec. 4), the active constant domain (ACDom) and a buffer manager with
 // per-segment accounting and LRU index eviction.
+//
+// Facts are stored as interned tuples: every term.Value is mapped to a
+// dense uint32 ID by the database-wide Interner, and each relation keeps
+// its rows as a flat []uint32 (arity IDs per fact). Duplicate checks and
+// dynamic-index probes hash those IDs with FNV-1a into uint64 keys;
+// hash buckets chain row indexes and every candidate is verified by ID
+// comparison, so collisions are resolved exactly and no probe allocates.
 package storage
 
 import (
-	"strings"
-
 	"repro/internal/ast"
 	"repro/internal/core"
 	"repro/internal/term"
 )
 
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// mixID folds one interned ID into an FNV-1a hash state, byte by byte.
+func mixID(h uint64, id uint32) uint64 {
+	h ^= uint64(id & 0xff)
+	h *= fnvPrime64
+	h ^= uint64((id >> 8) & 0xff)
+	h *= fnvPrime64
+	h ^= uint64((id >> 16) & 0xff)
+	h *= fnvPrime64
+	h ^= uint64(id >> 24)
+	h *= fnvPrime64
+	return h
+}
+
+// hashRow is the FNV-1a hash of a full interned row. It is a variable
+// only so collision-handling tests can force every row into one bucket.
+var hashRow = func(row []uint32) uint64 {
+	h := uint64(fnvOffset64)
+	for _, id := range row {
+		h = mixID(h, id)
+	}
+	return h
+}
+
+// hashMasked is the FNV-1a hash of the masked positions of an interned
+// row. Like hashRow it is a variable only for collision tests.
+var hashMasked = func(row []uint32, mask uint32) uint64 {
+	h := uint64(fnvOffset64)
+	for i, id := range row {
+		if mask&(1<<uint(i)) != 0 {
+			h = mixID(h, id)
+		}
+	}
+	return h
+}
+
 // Relation stores the facts of one predicate together with their
 // termination-strategy metadata. Facts are kept in insertion order;
-// duplicates (by exact key, null identities included) are rejected.
+// duplicates (by exact interned tuple, null identities included) are
+// rejected.
 type Relation struct {
 	name  string
 	arity int
+	in    *Interner
 	metas []*core.FactMeta
-	exact map[string]int32
+
+	// rows holds the interned tuples flattened: row i occupies
+	// rows[i*arity : (i+1)*arity]. Facts shorter than arity (possible
+	// only for inconsistent programs) are padded with the invalid ID 0,
+	// which no real value interns to, so padding is exact.
+	rows []uint32
+
+	// exact chains row indexes per full-row hash for duplicate detection.
+	exact map[uint64][]int32
 
 	// indexes maps a position bitmask to a dynamically built hash index
 	// over those positions. Indexes are created on first lookup and
@@ -30,21 +85,34 @@ type Relation struct {
 	noIndex bool
 
 	bytes int64 // rough retained-size accounting for the buffer manager
+
+	scratch  []uint32 // reusable row buffer for Insert/Contains
+	probeBuf []uint32 // reusable probe-ID buffer for value-based Lookup
 }
 
 type dynIndex struct {
 	mask    uint32
-	entries map[string][]int32
+	entries map[uint64][]int32
 	upTo    int // facts [0, upTo) are indexed
 	bytes   int64
 }
 
-// NewRelation creates an empty relation for pred with the given arity.
+// NewRelation creates an empty relation for pred with the given arity
+// and a private interner (standalone use, e.g. baseline policies and
+// tests). Relations inside a Database share its interner via
+// NewRelationInterned.
 func NewRelation(pred string, arity int) *Relation {
+	return NewRelationInterned(pred, arity, NewInterner())
+}
+
+// NewRelationInterned creates an empty relation whose tuples intern
+// through the shared symbol table in.
+func NewRelationInterned(pred string, arity int, in *Interner) *Relation {
 	return &Relation{
 		name:    pred,
 		arity:   arity,
-		exact:   make(map[string]int32),
+		in:      in,
+		exact:   make(map[uint64][]int32),
 		indexes: make(map[uint32]*dynIndex),
 	}
 }
@@ -61,6 +129,17 @@ func (r *Relation) Len() int { return len(r.metas) }
 // At returns the i-th stored fact.
 func (r *Relation) At(i int) *core.FactMeta { return r.metas[i] }
 
+// Row returns the interned tuple of the i-th stored fact. The slice
+// aliases the relation's storage; callers must not modify or retain it
+// across inserts.
+func (r *Relation) Row(i int) []uint32 {
+	return r.rows[i*r.arity : (i+1)*r.arity]
+}
+
+// Interner exposes the symbol table this relation's tuples intern
+// through.
+func (r *Relation) Interner() *Interner { return r.in }
+
 // Bytes returns the rough retained size of the relation incl. indexes.
 func (r *Relation) Bytes() int64 {
 	b := r.bytes
@@ -70,51 +149,124 @@ func (r *Relation) Bytes() int64 {
 	return b
 }
 
-// Insert appends m unless an exactly equal fact is already stored.
-// It reports whether the fact was new.
-func (r *Relation) Insert(m *core.FactMeta) bool {
-	key := m.Fact.Key()
-	if _, dup := r.exact[key]; dup {
-		return false
+// internRow encodes args into r.scratch, interning new values, padded
+// with the invalid ID 0 up to the relation's arity.
+func (r *Relation) internRow(args []term.Value) []uint32 {
+	row := r.scratch[:0]
+	for _, v := range args {
+		row = append(row, r.in.Intern(v))
 	}
-	r.exact[key] = int32(len(r.metas))
-	r.metas = append(r.metas, m)
-	r.bytes += int64(len(key)) + 64
+	for len(row) < r.arity {
+		row = append(row, 0)
+	}
+	r.scratch = row
+	return row
+}
+
+// rowEqual reports whether stored row ri equals row (stride-length).
+func (r *Relation) rowEqual(ri int, row []uint32) bool {
+	stored := r.rows[ri*r.arity : (ri+1)*r.arity]
+	for i, id := range stored {
+		if id != row[i] {
+			return false
+		}
+	}
 	return true
 }
 
-// Contains reports whether an exactly equal fact is stored.
-func (r *Relation) Contains(f ast.Fact) bool {
-	_, ok := r.exact[f.Key()]
-	return ok
-}
-
-// lookupKey encodes the values of the masked positions.
-func lookupKey(args []term.Value, mask uint32) string {
-	var sb strings.Builder
-	for i := 0; i < len(args); i++ {
-		if mask&(1<<uint(i)) != 0 {
-			sb.WriteString(args[i].String())
-			sb.WriteByte('\x00')
+// Insert appends m unless an exactly equal fact is already stored.
+// It reports whether the fact was new.
+func (r *Relation) Insert(m *core.FactMeta) bool {
+	if len(m.Fact.Args) > r.arity {
+		r.restride(len(m.Fact.Args))
+	}
+	row := r.internRow(m.Fact.Args)
+	h := hashRow(row)
+	for _, ri := range r.exact[h] {
+		if r.rowEqual(int(ri), row) {
+			return false
 		}
 	}
-	return sb.String()
+	r.exact[h] = append(r.exact[h], int32(len(r.metas)))
+	r.metas = append(r.metas, m)
+	r.rows = append(r.rows, row...)
+	r.bytes += int64(4*r.arity) + 48
+	return true
 }
 
-// LookupKeyOf builds the probe key for a lookup with the given bound
-// values; vals must have the relation's arity with only masked positions
-// inspected.
-func LookupKeyOf(vals []term.Value, mask uint32) string { return lookupKey(vals, mask) }
+// Contains reports whether an exactly equal fact is stored. It never
+// interns: a value absent from the symbol table occurs in no stored
+// fact.
+func (r *Relation) Contains(f ast.Fact) bool {
+	if len(f.Args) > r.arity {
+		return false
+	}
+	row := r.scratch[:0]
+	for _, v := range f.Args {
+		id, ok := r.in.IDOf(v)
+		if !ok {
+			return false
+		}
+		row = append(row, id)
+	}
+	for len(row) < r.arity {
+		row = append(row, 0)
+	}
+	r.scratch = row
+	h := hashRow(row)
+	for _, ri := range r.exact[h] {
+		if r.rowEqual(int(ri), row) {
+			return true
+		}
+	}
+	return false
+}
+
+// restride migrates the relation to a larger arity (inconsistent-arity
+// programs only): rows are re-flattened with 0-padding, the exact map is
+// rehashed and dynamic indexes dropped (rebuilt on demand).
+func (r *Relation) restride(arity int) {
+	old, oldStride := r.rows, r.arity
+	r.arity = arity
+	r.rows = make([]uint32, 0, len(r.metas)*arity)
+	r.exact = make(map[uint64][]int32, len(r.metas))
+	for i := range r.metas {
+		start := len(r.rows)
+		r.rows = append(r.rows, old[i*oldStride:(i+1)*oldStride]...)
+		for len(r.rows)-start < arity {
+			r.rows = append(r.rows, 0)
+		}
+		h := hashRow(r.rows[start:])
+		r.exact[h] = append(r.exact[h], int32(i))
+	}
+	r.indexes = make(map[uint32]*dynIndex)
+	r.scratch = nil
+	r.probeBuf = nil
+}
 
 // NoIndex disables dynamic indexing for this relation: every Lookup scans
 // (the ablation baseline for the slot machine join).
 func (r *Relation) SetNoIndex(v bool) { r.noIndex = v }
 
-// Lookup returns the indexes of all facts whose masked positions equal the
-// corresponding positions of probe. It builds or extends the dynamic index
-// for mask as a side effect (optimistic probe, then scan of the unindexed
-// suffix, as in the paper's slot machine join).
-func (r *Relation) Lookup(mask uint32, probe []term.Value) []int32 {
+// maskedEqual reports whether the masked positions of stored row ri
+// equal the corresponding positions of probe.
+func (r *Relation) maskedEqual(ri int, mask uint32, probe []uint32) bool {
+	row := r.rows[ri*r.arity : (ri+1)*r.arity]
+	for i, id := range row {
+		if mask&(1<<uint(i)) != 0 && id != probe[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// LookupIDs returns the indexes of all facts whose masked positions
+// equal the corresponding positions of probe (interned IDs). It builds
+// or extends the dynamic index for mask as a side effect (optimistic
+// probe, then scan of the unindexed suffix, as in the paper's slot
+// machine join). Candidates from the hash bucket are verified by ID
+// comparison, so hash collisions never leak into the result.
+func (r *Relation) LookupIDs(mask uint32, probe []uint32) []int32 {
 	if mask == 0 {
 		out := make([]int32, len(r.metas))
 		for i := range r.metas {
@@ -123,10 +275,9 @@ func (r *Relation) Lookup(mask uint32, probe []term.Value) []int32 {
 		return out
 	}
 	if r.noIndex {
-		key := lookupKey(probe, mask)
 		var out []int32
-		for i, m := range r.metas {
-			if lookupKey(m.Fact.Args, mask) == key {
+		for i := range r.metas {
+			if r.maskedEqual(i, mask, probe) {
 				out = append(out, int32(i))
 			}
 		}
@@ -134,23 +285,70 @@ func (r *Relation) Lookup(mask uint32, probe []term.Value) []int32 {
 	}
 	ix := r.indexes[mask]
 	if ix == nil {
-		ix = &dynIndex{mask: mask, entries: make(map[string][]int32)}
+		ix = &dynIndex{mask: mask, entries: make(map[uint64][]int32)}
 		r.indexes[mask] = ix
 	}
 	// Extend the index over facts appended since the last probe.
 	for ; ix.upTo < len(r.metas); ix.upTo++ {
-		f := r.metas[ix.upTo]
-		k := lookupKey(f.Fact.Args, mask)
-		ix.entries[k] = append(ix.entries[k], int32(ix.upTo))
-		ix.bytes += int64(len(k)) + 16
+		h := hashMasked(r.rows[ix.upTo*r.arity:(ix.upTo+1)*r.arity], mask)
+		ix.entries[h] = append(ix.entries[h], int32(ix.upTo))
+		ix.bytes += 20
 	}
-	return ix.entries[lookupKey(probe, mask)]
+	bucket := ix.entries[hashMasked(probe, mask)]
+	// Fast path: the whole bucket matches (collisions are rare), so the
+	// bucket is returned as-is without allocating.
+	for k, ri := range bucket {
+		if r.maskedEqual(int(ri), mask, probe) {
+			continue
+		}
+		filtered := make([]int32, k, len(bucket))
+		copy(filtered, bucket[:k])
+		for _, rj := range bucket[k+1:] {
+			if r.maskedEqual(int(rj), mask, probe) {
+				filtered = append(filtered, rj)
+			}
+		}
+		return filtered
+	}
+	return bucket
+}
+
+// Lookup is the value-based probe: vals must have the relation's arity
+// with only masked positions inspected. A masked value that was never
+// interned matches nothing.
+func (r *Relation) Lookup(mask uint32, probe []term.Value) []int32 {
+	if mask == 0 {
+		return r.LookupIDs(0, nil)
+	}
+	if len(probe) < r.arity && mask>>uint(len(probe)) != 0 {
+		return nil // masked positions beyond the probe match nothing
+	}
+	if cap(r.probeBuf) < r.arity {
+		r.probeBuf = make([]uint32, r.arity)
+	}
+	ids := r.probeBuf[:r.arity]
+	for i := 0; i < len(probe) && i < r.arity; i++ {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		id, ok := r.in.IDOf(probe[i])
+		if !ok {
+			return nil
+		}
+		ids[i] = id
+	}
+	return r.LookupIDs(mask, ids)
 }
 
 // LookupCount returns how many facts match without materializing a slice
 // beyond the index bucket.
 func (r *Relation) LookupCount(mask uint32, probe []term.Value) int {
 	return len(r.Lookup(mask, probe))
+}
+
+// LookupCountIDs is the ID-based counterpart of LookupCount.
+func (r *Relation) LookupCountIDs(mask uint32, probe []uint32) int {
+	return len(r.LookupIDs(mask, probe))
 }
 
 // DropIndexes discards all dynamic indexes (they are rebuilt on demand);
