@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strconv"
@@ -473,6 +474,51 @@ func BenchmarkAblation_Engine(b *testing.B) {
 		opts := vadalog.Options{Engine: vadalog.EngineChase}
 		for i := 0; i < b.N; i++ {
 			runOnce(b, dbpedia.PSCProgram, data.All(), "psc", &opts)
+		}
+	})
+}
+
+// BenchmarkCompileOnceVsPerQuery measures the amortized per-query cost of
+// sharing one compiled Reasoner across requests versus rebuilding a
+// Session (wardedness analysis + harmful-join rewriting + rule
+// compilation + plan construction) for every query — the serving scenario
+// the Compile/Query API exists for — on a rule-heavy iWarded scenario
+// with a small per-request fact set.
+func BenchmarkCompileOnceVsPerQuery(b *testing.B) {
+	cfg, ok := iwarded.Scenario("synthA")
+	if !ok {
+		b.Fatal("synthA scenario missing")
+	}
+	cfg.FactsPerRel = 5
+	g, err := iwarded.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := vadalog.MustParse(g.Source)
+	b.Run("shared-reasoner", func(b *testing.B) {
+		r, err := vadalog.Compile(prog, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Query(context.Background(), g.Facts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("session-per-query", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sess, err := vadalog.NewSession(prog, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sess.Load(g.Facts...)
+			if err := sess.Run(); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

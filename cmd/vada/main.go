@@ -18,9 +18,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"repro/vadalog"
@@ -63,7 +65,11 @@ func cmdPlan(args []string) {
 		usage()
 	}
 	prog := loadProgram(fs.Arg(0))
-	plan, err := vadalog.PlanString(prog)
+	reasoner, err := vadalog.Compile(prog, nil)
+	if err != nil {
+		fatal(err)
+	}
+	plan, err := reasoner.Plan()
 	if err != nil {
 		fatal(err)
 	}
@@ -139,22 +145,29 @@ func cmdRun(args []string) {
 		fatal(fmt.Errorf("unknown policy %q", *policy))
 	}
 
-	sess, err := vadalog.NewSession(prog, opts)
+	// Compile once, then run: the compiled Reasoner is the reusable
+	// artifact (a server would keep it and call Query per request).
+	reasoner, err := vadalog.Compile(prog, opts)
 	if err != nil {
 		fatal(err)
 	}
+	var facts []vadalog.Fact
 	for _, spec := range extraFacts {
 		pred, file, ok := strings.Cut(spec, "=")
 		if !ok {
 			fatal(fmt.Errorf("bad -facts %q (want pred=file.csv)", spec))
 		}
-		facts, err := vadalog.ReadCSV(pred, file)
+		fs, err := vadalog.ReadCSV(pred, file)
 		if err != nil {
 			fatal(err)
 		}
-		sess.Load(facts...)
+		facts = append(facts, fs...)
 	}
-	if err := sess.Run(); err != nil {
+	// Ctrl-C cancels the reasoning fixpoint instead of killing the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := reasoner.Query(ctx, facts)
+	if err != nil {
 		fatal(err)
 	}
 
@@ -165,12 +178,12 @@ func cmdRun(args []string) {
 		}
 	}
 	for _, pred := range preds {
-		for _, f := range sess.Output(pred) {
+		for _, f := range res.Output(pred) {
 			fmt.Println(f)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "vada: %d facts derived\n", sess.Derivations())
-	if st, ok := sess.StrategyStats(); ok {
+	fmt.Fprintf(os.Stderr, "vada: %d facts derived\n", res.Derivations())
+	if st, ok := res.StrategyStats(); ok {
 		fmt.Fprintf(os.Stderr, "vada: strategy: %d checks, %d iso, %d stop-cut, %d patterns\n",
 			st.Checked, st.IsoChecks, st.BeyondStop, st.Patterns)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -25,17 +26,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sess, err := vadalog.NewSession(prog, nil)
+	reasoner, err := vadalog.Compile(prog, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sess.Load(g.OwnFacts()...)
 
 	start := time.Now()
-	if err := sess.Run(); err != nil {
+	res, err := reasoner.Query(context.Background(), g.OwnFacts())
+	if err != nil {
 		log.Fatal(err)
 	}
-	control := sess.Output("control")
+	control := res.Output("control")
 	fmt.Printf("control pairs: %d (%.2fs)\n", len(control), time.Since(start).Seconds())
 	for i, f := range control {
 		if i >= 10 {

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -42,11 +43,13 @@ func main() {
 		log.Fatal(err)
 	}
 
-	sess, err := vadalog.NewSession(prog, nil)
+	reasoner, err := vadalog.Compile(prog, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := sess.Run(); err != nil {
+	// The @bind'ed CSV inputs are read (and outputs written) by the query
+	// itself: storage to storage, no facts passed in code.
+	if _, err := reasoner.Query(context.Background(), nil); err != nil {
 		log.Fatal(err)
 	}
 

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -57,16 +58,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sess, err := vadalog.NewSession(prog, nil)
+	reasoner, err := vadalog.Compile(prog, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sess.Load(owlqa.ABoxFacts(abox)...)
-	if err := sess.Run(); err != nil {
+	res, err := reasoner.Query(context.Background(), owlqa.ABoxFacts(abox))
+	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("entailed answers (the degree university is an invented null):")
-	for _, f := range sess.Output("answer") {
+	for _, f := range res.Output("answer") {
 		fmt.Println(" ", f)
 	}
 
@@ -75,12 +76,12 @@ func main() {
 		spouse(alice, bob, 2001, rome, 2010).
 		@output("spouse").
 	`)
-	out, err := vadalog.Reason(prog2, nil, nil)
+	res2, err := vadalog.MustCompile(prog2, nil).Query(context.Background(), nil)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nExample 1 (symmetric 5-ary spouse):")
-	for _, f := range out["spouse"] {
+	for _, f := range res2.Output("spouse") {
 		fmt.Println(" ", f)
 	}
 }

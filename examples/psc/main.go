@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -37,16 +38,16 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		sess, err := vadalog.NewSession(prog, &vadalog.Options{Engine: engine.eng})
+		reasoner, err := vadalog.Compile(prog, &vadalog.Options{Engine: engine.eng})
 		if err != nil {
 			log.Fatal(err)
 		}
-		sess.Load(data.All()...)
 		start := time.Now()
-		if err := sess.Run(); err != nil {
+		res, err := reasoner.Query(context.Background(), data.All())
+		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-8s: %6d psc facts in %.2fs\n",
-			engine.name, len(sess.Output("psc")), time.Since(start).Seconds())
+			engine.name, len(res.Output("psc")), time.Since(start).Seconds())
 	}
 }

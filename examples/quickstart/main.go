@@ -1,9 +1,10 @@
 // Command quickstart is the minimal end-to-end example: parse a warded
-// program with recursion and existential quantification, load facts, run
-// the reasoner, and print the answers.
+// program with recursion and existential quantification, compile it once
+// into a shareable Reasoner, query it, and print the answers.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,21 +25,23 @@ func main() {
 
 	fmt.Println(vadalog.Check(prog)) // static wardedness report
 
-	sess, err := vadalog.NewSession(prog, nil)
+	// Compile once: analysis, rewriting and plan construction happen here.
+	// The Reasoner is immutable and safe to share across goroutines.
+	reasoner, err := vadalog.Compile(prog, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sess.Load(
+	res, err := reasoner.Query(context.Background(), []vadalog.Fact{
 		vadalog.MakeFact("company", vadalog.Str("acme")),
 		vadalog.MakeFact("company", vadalog.Str("subco")),
 		vadalog.MakeFact("control", vadalog.Str("acme"), vadalog.Str("subco")),
 		vadalog.MakeFact("keyPerson", vadalog.Str("ada"), vadalog.Str("acme")),
-	)
-	if err := sess.Run(); err != nil {
+	})
+	if err != nil {
 		log.Fatal(err)
 	}
-	for _, f := range sess.Output("keyPerson") {
+	for _, f := range res.Output("keyPerson") {
 		fmt.Println(f)
 	}
-	fmt.Printf("%d facts derived in total\n", sess.Derivations())
+	fmt.Printf("%d facts derived in total\n", res.Derivations())
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -33,18 +34,18 @@ func main() {
 	rep := vadalog.Check(prog)
 	fmt.Printf("program: %d harmful joins, warded: %v\n", rep.Stats.HarmfulJoins, rep.Warded)
 
-	sess, err := vadalog.NewSession(prog, nil)
+	reasoner, err := vadalog.Compile(prog, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sess.Load(data.All()...)
 	start := time.Now()
-	if err := sess.Run(); err != nil {
+	res, err := reasoner.Query(context.Background(), data.All())
+	if err != nil {
 		log.Fatal(err)
 	}
-	links := sess.Output("strongLink")
+	links := res.Output("strongLink")
 	fmt.Printf("strong links (N=%d): %d in %.2fs\n", *n, len(links), time.Since(start).Seconds())
-	if st, ok := sess.StrategyStats(); ok {
+	if st, ok := res.StrategyStats(); ok {
 		fmt.Printf("termination strategy: %d checks, %d iso checks, %d cut by stop-provenances, %d patterns learnt\n",
 			st.Checked, st.IsoChecks, st.BeyondStop, st.Patterns)
 	}

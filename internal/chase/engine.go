@@ -7,6 +7,7 @@
 package chase
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -71,31 +72,28 @@ func (r *Result) Output(pred string) []ast.Fact {
 	return eval.ApplyPost(r.DB.FactsOf(pred), r.posts, pred, r.Subst)
 }
 
-// Engine is a single reasoning session.
-type Engine struct {
-	opts  Options
-	prog  *ast.Program
-	res   *analysis.Result
-	rw    *rewrite.Result
-	db    *storage.Database
-	strat core.Policy
-	mt    *eval.Matcher
-	subst *eval.NullSubst
+// Compiled is the immutable compile-time artifact of a program for the
+// chase engine: rewritten rules, warded analysis and per-rule executable
+// plans. Compilation happens exactly once; a Compiled is safe for
+// concurrent use by any number of goroutines, each deriving cheap per-run
+// state with NewEngine.
+type Compiled struct {
+	opts Options
+	prog *ast.Program // rewritten program
+	res  *analysis.Result
+	rw   *rewrite.Result
 
-	rules    []*eval.CompiledRule
-	bindings []*eval.Binding
-	aggs     []*eval.AggState
-	postAgg  [][]eval.CCond // conditions depending on the aggregate result
+	rules   []*eval.CompiledRule
+	postAgg [][]eval.CCond // conditions depending on the aggregate result
 	// byPred maps predicate -> (rule idx, pos idx) pairs for delta pinning.
 	byPred map[string][][2]int
 
-	queue       []*core.FactMeta
-	derivations int
-	budget      int
+	budget int
 }
 
-// New prepares an engine for prog: rewriting, analysis, compilation.
-func New(prog *ast.Program, opts Options) (*Engine, error) {
+// Compile runs rewriting, wardedness analysis and rule compilation on
+// prog and returns the shareable artifact.
+func Compile(prog *ast.Program, opts Options) (*Compiled, error) {
 	rwOpts := rewrite.DefaultOptions()
 	if opts.Rewrite != nil {
 		rwOpts = *opts.Rewrite
@@ -108,30 +106,17 @@ func New(prog *ast.Program, opts Options) (*Engine, error) {
 	if opts.RequireWarded && !res.Warded {
 		return nil, fmt.Errorf("chase: program is not warded: %s", strings.Join(res.Violations, "; "))
 	}
-	e := &Engine{
+	c := &Compiled{
 		opts:   opts,
 		prog:   rw.Program,
 		res:    res,
 		rw:     rw,
-		db:     storage.NewDatabase(),
-		subst:  eval.NewNullSubst(),
 		byPred: make(map[string][][2]int),
 		budget: opts.MaxDerivations,
 	}
-	if e.budget <= 0 {
-		e.budget = 10_000_000
+	if c.budget <= 0 {
+		c.budget = 10_000_000
 	}
-	if opts.NewPolicy != nil {
-		e.strat = opts.NewPolicy(res)
-	} else {
-		full := core.NewStrategy(res)
-		full.DisableSummary = opts.DisableSummary
-		e.strat = full
-	}
-	if opts.DisableDynamicIndex {
-		e.db.DisableIndexes()
-	}
-	e.mt = &eval.Matcher{DB: e.db}
 	for i, r := range rw.Program.Rules {
 		cr, err := eval.Compile(r, res.Rules[i])
 		if err != nil {
@@ -140,30 +125,90 @@ func New(prog *ast.Program, opts Options) (*Engine, error) {
 		if len(cr.Pos) == 0 {
 			return nil, fmt.Errorf("chase: rule %d has no positive body atom: %s", r.ID, r.String())
 		}
-		e.rules = append(e.rules, cr)
-		e.bindings = append(e.bindings, eval.NewBinding(cr))
-		if r.Aggregate != nil {
-			e.aggs = append(e.aggs, eval.NewAggState(r.Aggregate.Func))
-		} else {
-			e.aggs = append(e.aggs, nil)
-		}
+		c.rules = append(c.rules, cr)
 		var pa []eval.CCond
 		if cr.Agg != nil {
-			for _, c := range cr.Conds {
-				for _, d := range c.Deps {
+			for _, cond := range cr.Conds {
+				for _, d := range cond.Deps {
 					if d == cr.Agg.ResultSlot {
-						pa = append(pa, c)
+						pa = append(pa, cond)
 						break
 					}
 				}
 			}
 		}
-		e.postAgg = append(e.postAgg, pa)
+		c.postAgg = append(c.postAgg, pa)
 		for pi, a := range cr.Pos {
-			e.byPred[a.Pred] = append(e.byPred[a.Pred], [2]int{i, pi})
+			c.byPred[a.Pred] = append(c.byPred[a.Pred], [2]int{i, pi})
 		}
 	}
-	return e, nil
+	return c, nil
+}
+
+// Program returns the rewritten program the artifact executes.
+func (c *Compiled) Program() *ast.Program { return c.prog }
+
+// Analysis returns the warded analysis of the rewritten program.
+func (c *Compiled) Analysis() *analysis.Result { return c.res }
+
+// Engine is the per-run state of a single reasoning session over a
+// shared Compiled artifact. Engines are cheap to create and are for use
+// by a single goroutine; share the Compiled, not the Engine.
+type Engine struct {
+	c     *Compiled
+	db    *storage.Database
+	strat core.Policy
+	mt    *eval.Matcher
+	subst *eval.NullSubst
+
+	bindings []*eval.Binding
+	aggs     []*eval.AggState
+
+	queue       []*core.FactMeta
+	derivations int
+	budget      int
+}
+
+// NewEngine derives fresh run-time state (database, interner, strategy,
+// bindings, queue) over the shared compiled artifact.
+func (c *Compiled) NewEngine() *Engine {
+	e := &Engine{
+		c:      c,
+		db:     storage.NewDatabase(),
+		subst:  eval.NewNullSubst(),
+		budget: c.budget,
+	}
+	if c.opts.NewPolicy != nil {
+		e.strat = c.opts.NewPolicy(c.res)
+	} else {
+		full := core.NewStrategy(c.res)
+		full.DisableSummary = c.opts.DisableSummary
+		e.strat = full
+	}
+	if c.opts.DisableDynamicIndex {
+		e.db.DisableIndexes()
+	}
+	e.mt = &eval.Matcher{DB: e.db}
+	for _, cr := range c.rules {
+		e.bindings = append(e.bindings, eval.NewBinding(cr))
+		if cr.Rule.Aggregate != nil {
+			e.aggs = append(e.aggs, eval.NewAggState(cr.Rule.Aggregate.Func))
+		} else {
+			e.aggs = append(e.aggs, nil)
+		}
+	}
+	return e
+}
+
+// New compiles prog and prepares an engine over it in one step. To share
+// the compilation across runs, use Compile once and Compiled.NewEngine
+// per run.
+func New(prog *ast.Program, opts Options) (*Engine, error) {
+	c, err := Compile(prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	return c.NewEngine(), nil
 }
 
 // LoadFact admits one EDB fact (before or during Run).
@@ -183,7 +228,7 @@ func (e *Engine) LoadFact(f ast.Fact) {
 // tag twin, with labelled nulls replaced by their canonical ground keys
 // (dynamic harmful-join elimination; see rewrite.EliminateHarmfulJoinsDynamic).
 func (e *Engine) insertTagTwin(f ast.Fact) {
-	twin, ok := e.rw.TagPreds[f.Pred]
+	twin, ok := e.c.rw.TagPreds[f.Pred]
 	if !ok {
 		return
 	}
@@ -205,18 +250,22 @@ func (e *Engine) insertTagTwin(f ast.Fact) {
 	e.queue = append(e.queue, m)
 }
 
-// Run executes the chase to fixpoint and returns the result.
-func (e *Engine) Run(edb []ast.Fact) (*Result, error) {
-	for _, f := range e.prog.Facts {
+// Run executes the chase to fixpoint and returns the result. Cancelling
+// ctx aborts the breadth-first loop between delta facts.
+func (e *Engine) Run(ctx context.Context, edb []ast.Fact) (*Result, error) {
+	for _, f := range e.c.prog.Facts {
 		e.LoadFact(f)
 	}
 	for _, f := range edb {
 		e.LoadFact(f)
 	}
 	for len(e.queue) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		m := e.queue[0]
 		e.queue = e.queue[1:]
-		for _, rp := range e.byPred[m.Fact.Pred] {
+		for _, rp := range e.c.byPred[m.Fact.Pred] {
 			if err := e.fire(rp[0], rp[1], m); err != nil {
 				return nil, err
 			}
@@ -224,19 +273,19 @@ func (e *Engine) Run(edb []ast.Fact) (*Result, error) {
 	}
 	return &Result{
 		DB:          e.db,
-		Program:     e.prog,
-		Analysis:    e.res,
+		Program:     e.c.prog,
+		Analysis:    e.c.res,
 		Strategy:    e.strat,
 		Subst:       e.subst,
-		Rewrite:     e.rw,
+		Rewrite:     e.c.rw,
 		Derivations: e.derivations,
-		posts:       e.prog.Posts,
+		posts:       e.c.prog.Posts,
 	}, nil
 }
 
 // fire applies rule ri with its pos-th body atom pinned to delta fact m.
 func (e *Engine) fire(ri, pos int, m *core.FactMeta) error {
-	cr := e.rules[ri]
+	cr := e.c.rules[ri]
 	b := e.bindings[ri]
 	return e.mt.MatchPinned(cr, pos, m, b, func(b *eval.Binding) error {
 		return e.emit(ri, cr, b)
@@ -286,8 +335,8 @@ func (e *Engine) emit(ri int, cr *eval.CompiledRule, b *eval.Binding) error {
 			return err
 		}
 		b.Set(cr.Agg.ResultSlot, agg)
-		for i := range e.postAgg[ri] {
-			c := &e.postAgg[ri][i]
+		for i := range e.c.postAgg[ri] {
+			c := &e.c.postAgg[ri][i]
 			if c.Fast {
 				if !c.EvalFast(b) {
 					return nil
@@ -345,10 +394,10 @@ func (e *Engine) admit(f ast.Fact, ruleID int, parents []*core.FactMeta) error {
 }
 
 // Run is the convenience one-shot entry point.
-func Run(prog *ast.Program, edb []ast.Fact, opts Options) (*Result, error) {
+func Run(ctx context.Context, prog *ast.Program, edb []ast.Fact, opts Options) (*Result, error) {
 	e, err := New(prog, opts)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(edb)
+	return e.Run(ctx, edb)
 }

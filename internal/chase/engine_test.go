@@ -1,6 +1,7 @@
 package chase
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -17,7 +18,7 @@ func run(t *testing.T, src string, edb []ast.Fact) *Result {
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	res, err := Run(prog, edb, Options{})
+	res, err := Run(context.Background(), prog, edb, Options{})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -223,7 +224,7 @@ func TestConstraintViolation(t *testing.T) {
 		t.Fatalf("parse: %v", err)
 	}
 	edb := []ast.Fact{ast.NewFact("own", term.String("a"), term.String("a"), term.Float(0.1))}
-	_, err = Run(prog, edb, Options{})
+	_, err = Run(context.Background(), prog, edb, Options{})
 	if !errors.Is(err, ErrInconsistent) {
 		t.Fatalf("want ErrInconsistent, got %v", err)
 	}
@@ -256,7 +257,7 @@ func TestEGDConstantViolation(t *testing.T) {
 		ast.NewFact("val", term.String("a"), term.Int(1)),
 		ast.NewFact("val", term.String("b"), term.Int(2)),
 	}
-	_, err := Run(prog, edb, Options{})
+	_, err := Run(context.Background(), prog, edb, Options{})
 	if !errors.Is(err, ErrInconsistent) {
 		t.Fatalf("want ErrInconsistent, got %v", err)
 	}
@@ -374,7 +375,7 @@ func TestBudgetExceeded(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		edb = append(edb, ast.NewFact("a", term.Int(int64(i))))
 	}
-	_, err := Run(prog, edb, Options{MaxDerivations: 50})
+	_, err := Run(context.Background(), prog, edb, Options{MaxDerivations: 50})
 	if !errors.Is(err, ErrBudget) {
 		t.Fatalf("want ErrBudget, got %v", err)
 	}
@@ -425,7 +426,7 @@ func TestDomGuard(t *testing.T) {
 		ast.NewFact("own", term.String("alice"), term.String("a")),
 	}
 	prog := parser.MustParse(src)
-	_, err := Run(prog, edb, Options{})
+	_, err := Run(context.Background(), prog, edb, Options{})
 	if !errors.Is(err, ErrInconsistent) {
 		t.Fatalf("two ground owners of a must violate the dom-guarded EGD, got %v", err)
 	}
@@ -468,5 +469,49 @@ func TestOutputDeterminism(t *testing.T) {
 		if strings.Join(first, ";") != strings.Join(again, ";") {
 			t.Fatalf("non-deterministic output on run %d", i)
 		}
+	}
+}
+
+// TestCompiledSharedAcrossEngines: one Compiled artifact, several engines
+// over different databases — per-run state must be fully isolated.
+func TestCompiledSharedAcrossEngines(t *testing.T) {
+	src := `
+		edge(X,Y) -> path(X,Y).
+		path(X,Y), edge(Y,Z) -> path(X,Z).
+	`
+	c, err := Compile(parser.MustParse(src), Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	for k := 1; k <= 3; k++ {
+		e := c.NewEngine()
+		var edb []ast.Fact
+		for i := 0; i < k; i++ {
+			edb = append(edb, ast.NewFact("edge",
+				term.String(fmt.Sprintf("s%d_%d", k, i)), term.String(fmt.Sprintf("s%d_%d", k, i+1))))
+		}
+		res, err := e.Run(context.Background(), edb)
+		if err != nil {
+			t.Fatalf("run %d: %v", k, err)
+		}
+		if got, want := len(res.Output("path")), k*(k+1)/2; got != want {
+			t.Errorf("engine %d: %d paths, want %d", k, got, want)
+		}
+	}
+}
+
+// TestChaseCancellation: a cancelled context aborts the breadth-first
+// loop.
+func TestChaseCancellation(t *testing.T) {
+	src := `a(X), a(Y) -> pair(X,Y).`
+	var edb []ast.Fact
+	for i := 0; i < 200; i++ {
+		edb = append(edb, ast.NewFact("a", term.Int(int64(i))))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, parser.MustParse(src), edb, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
 	}
 }

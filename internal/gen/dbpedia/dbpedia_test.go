@@ -1,6 +1,7 @@
 package dbpedia
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/analysis"
@@ -57,7 +58,7 @@ func TestPSCPropagation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Run(d.All()); err != nil {
+	if err := s.Run(context.Background(), d.All()); err != nil {
 		t.Fatal(err)
 	}
 	psc := s.Output("psc")
@@ -74,7 +75,7 @@ func TestStrongLinksProducePairs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Run(d.All()); err != nil {
+	if err := s.Run(context.Background(), d.All()); err != nil {
 		t.Fatal(err)
 	}
 	if len(s.Output("strongLink")) == 0 {

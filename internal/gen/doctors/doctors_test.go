@@ -1,6 +1,7 @@
 package doctors
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -49,7 +50,7 @@ func TestMappingEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := s.Run(facts); err != nil {
+		if err := s.Run(context.Background(), facts); err != nil {
 			t.Fatalf("q%d: %v", qi, err)
 		}
 		// Queries over populated targets should mostly return answers.
@@ -66,7 +67,7 @@ func TestFDVariantUnifiesNulls(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Run(facts); err != nil {
+	if err := s.Run(context.Background(), facts); err != nil {
 		t.Fatalf("FD variant must be consistent on generated data: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package graphs
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/parser"
@@ -106,7 +107,7 @@ func TestControlProgramEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Run(g.OwnFacts()); err != nil {
+	if err := s.Run(context.Background(), g.OwnFacts()); err != nil {
 		t.Fatal(err)
 	}
 	direct := 0

@@ -1,6 +1,7 @@
 package ibench
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -70,7 +71,7 @@ func TestScenariosRunWithAnswers(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := s.Run(g.Facts); err != nil {
+			if err := s.Run(context.Background(), g.Facts); err != nil {
 				t.Fatalf("%s q%d: %v", cfg.Name, qi, err)
 			}
 			if len(s.Output(fmt.Sprintf("ans%d", qi))) > 0 {

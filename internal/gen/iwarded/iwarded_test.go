@@ -1,6 +1,7 @@
 package iwarded
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/analysis"
@@ -71,7 +72,7 @@ func TestScenariosTerminate(t *testing.T) {
 			if err != nil {
 				t.Fatalf("new: %v", err)
 			}
-			if err := s.Run(g.Facts); err != nil {
+			if err := s.Run(context.Background(), g.Facts); err != nil {
 				t.Fatalf("run: %v", err)
 			}
 			if s.Derivations() == 0 {
@@ -119,7 +120,7 @@ func TestAtomAndArityScaling(t *testing.T) {
 	if err != nil {
 		t.Fatalf("new: %v", err)
 	}
-	if err := s.Run(g.Facts); err != nil {
+	if err := s.Run(context.Background(), g.Facts); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }

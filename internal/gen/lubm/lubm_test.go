@@ -1,6 +1,7 @@
 package lubm
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -53,7 +54,7 @@ func TestQueriesReturnAnswers(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := s.Run(facts); err != nil {
+		if err := s.Run(context.Background(), facts); err != nil {
 			t.Fatalf("q%d: %v", qi+1, err)
 		}
 		if len(s.Output(fmt.Sprintf("q%d", qi+1))) > 0 {

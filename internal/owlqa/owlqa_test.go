@@ -1,6 +1,7 @@
 package owlqa
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -67,7 +68,7 @@ func TestEntailmentRegime(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Run(ABoxFacts(abox)); err != nil {
+	if err := s.Run(context.Background(), ABoxFacts(abox)); err != nil {
 		t.Fatal(err)
 	}
 	check := func(pred, want string) {
@@ -95,7 +96,7 @@ func TestDisjointnessViolation(t *testing.T) {
 		{S: "thing", P: "a", O: "Person"},
 		{S: "thing", P: "a", O: "Organization"},
 	})
-	_, err = chase.Run(prog, abox, chase.Options{})
+	_, err = chase.Run(context.Background(), prog, abox, chase.Options{})
 	if !errors.Is(err, chase.ErrInconsistent) {
 		t.Fatalf("disjointness must fire: %v", err)
 	}
@@ -111,7 +112,7 @@ func TestInverseBothDirections(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Run(ABoxFacts([]Triple{{S: "logic", P: "taughtBy", O: "ada"}})); err != nil {
+	if err := s.Run(context.Background(), ABoxFacts([]Triple{{S: "logic", P: "taughtBy", O: "ada"}})); err != nil {
 		t.Fatal(err)
 	}
 	if len(s.Output("teacherOf")) != 1 {
@@ -144,7 +145,7 @@ func TestExample1HigherArity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Run(nil); err != nil {
+	if err := s.Run(context.Background(), nil); err != nil {
 		t.Fatal(err)
 	}
 	found := false

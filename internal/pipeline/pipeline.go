@@ -9,10 +9,10 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
-	"strings"
 
 	"repro/internal/analysis"
 	"repro/internal/ast"
@@ -57,12 +57,13 @@ const (
 	stepDry
 )
 
-// Session is a compiled, loaded pipeline ready to stream results.
+// Session is the per-run state of one reasoning task over a shared
+// Compiled artifact: database, interner, termination strategy, buffers,
+// bindings and cursors. Sessions are cheap to create (Compiled.NewSession)
+// and are for use by a single goroutine; share the Compiled, not the
+// Session.
 type Session struct {
-	opts  Options
-	prog  *ast.Program
-	res   *analysis.Result
-	rw    *rewrite.Result
+	c     *Compiled
 	db    *storage.Database
 	strat core.Policy
 	mt    *eval.Matcher
@@ -71,6 +72,14 @@ type Session struct {
 
 	filters []*ruleFilter
 	hubs    map[string]*hub
+
+	// ctx is the context of the drive call currently on the stack; the
+	// recursive pull machinery checks it between rule firings. ctxDone
+	// latches an observed cancellation until the next drive call;
+	// pollTick strides the ctx.Err polls (see cancelled).
+	ctx      context.Context
+	ctxDone  bool
+	pollTick uint32
 
 	derivations int
 	budget      int
@@ -88,7 +97,8 @@ type hub struct {
 }
 
 // ruleFilter is one rule's filter node with its termination-strategy
-// wrapper state.
+// wrapper state. cr and postAgg are shared read-only with the Compiled
+// artifact; everything else is per-session.
 type ruleFilter struct {
 	idx     int
 	cr      *eval.CompiledRule
@@ -105,98 +115,15 @@ type ruleFilter struct {
 	produced int
 }
 
-// New compiles prog into a pipeline session. EDB facts are loaded with
-// Load or passed to Run.
+// New compiles prog and opens a session over it in one step (the
+// compile-per-run convenience path). To share the compilation across
+// sessions, use Compile once and Compiled.NewSession per run.
 func New(prog *ast.Program, opts Options) (*Session, error) {
-	rwOpts := rewrite.DefaultOptions()
-	if opts.Rewrite != nil {
-		rwOpts = *opts.Rewrite
-	}
-	rw, err := rewrite.Apply(prog, rwOpts)
+	c, err := Compile(prog, opts)
 	if err != nil {
 		return nil, err
 	}
-	res := analysis.Analyze(rw.Program)
-	if opts.RequireWarded && !res.Warded {
-		return nil, fmt.Errorf("pipeline: program is not warded: %s", strings.Join(res.Violations, "; "))
-	}
-	s := &Session{
-		opts:   opts,
-		prog:   rw.Program,
-		res:    res,
-		rw:     rw,
-		db:     storage.NewDatabase(),
-		subst:  eval.NewNullSubst(),
-		hubs:   make(map[string]*hub),
-		budget: opts.MaxDerivations,
-		bm:     storage.NewBufferManager(opts.BufferCapacity),
-	}
-	if s.budget <= 0 {
-		s.budget = 10_000_000
-	}
-	if opts.NewPolicy != nil {
-		s.strat = opts.NewPolicy(res)
-	} else {
-		full := core.NewStrategy(res)
-		full.DisableSummary = opts.DisableSummary
-		s.strat = full
-	}
-	if opts.DisableDynamicIndex {
-		s.db.DisableIndexes()
-	}
-	s.mt = &eval.Matcher{DB: s.db, OnIndexProbe: func(pred string) { s.bm.Touch(pred) }}
-
-	preds, err := rw.Program.Predicates()
-	if err != nil {
-		return nil, err
-	}
-	for pred, arity := range preds {
-		rel := s.db.Rel(pred, arity)
-		s.hubs[pred] = &hub{pred: pred, rel: rel}
-		s.bm.Register(pred, rel)
-	}
-	for i, r := range rw.Program.Rules {
-		cr, err := eval.Compile(r, res.Rules[i])
-		if err != nil {
-			return nil, err
-		}
-		if len(cr.Pos) == 0 {
-			return nil, fmt.Errorf("pipeline: rule %d has no positive body atom: %s", r.ID, r.String())
-		}
-		f := &ruleFilter{
-			idx:     i,
-			cr:      cr,
-			binding: eval.NewBinding(cr),
-			cursors: make([]int, len(cr.Pos)),
-		}
-		if r.Aggregate != nil {
-			f.agg = eval.NewAggState(r.Aggregate.Func)
-			for _, c := range cr.Conds {
-				for _, d := range c.Deps {
-					if d == cr.Agg.ResultSlot {
-						f.postAgg = append(f.postAgg, c)
-						break
-					}
-				}
-			}
-		}
-		s.filters = append(s.filters, f)
-		switch {
-		case r.IsConstraint, r.EGD != nil:
-			// Constraint and EGD filters are side-effect sinks: attach them
-			// as producers of a synthetic hub so sweeps drive them.
-			sink := s.hubs["#constraints"]
-			if sink == nil {
-				sink = &hub{pred: "#constraints", rel: s.db.Rel("#constraints", 1)}
-				s.hubs["#constraints"] = sink
-			}
-			sink.producers = append(sink.producers, f)
-		default:
-			h := s.hubs[r.Heads[0].Pred]
-			h.producers = append(h.producers, f)
-		}
-	}
-	return s, nil
+	return c.NewSession(), nil
 }
 
 // Load admits EDB facts into the pipeline's source relations. Loading
@@ -219,7 +146,7 @@ func (s *Session) Load(facts ...ast.Fact) {
 }
 
 func (s *Session) insertTagTwin(f ast.Fact) {
-	twin, ok := s.rw.TagPreds[f.Pred]
+	twin, ok := s.c.rw.TagPreds[f.Pred]
 	if !ok {
 		return
 	}
@@ -244,13 +171,19 @@ func (s *Session) insertTagTwin(f ast.Fact) {
 
 // Next ensures at least n+1 facts of pred exist, pulling through the
 // pipeline on demand (the volcano next() of the paper). It returns false
-// on a real miss: no further facts of pred can be derived.
-func (s *Session) Next(pred string, n int) (ast.Fact, bool, error) {
+// on a real miss: no further facts of pred can be derived. Cancelling ctx
+// aborts the pull between rule firings; the session stays consistent and
+// can be driven again with a live context.
+func (s *Session) Next(ctx context.Context, pred string, n int) (ast.Fact, bool, error) {
+	s.ctx, s.ctxDone = ctx, false
 	h := s.hubs[pred]
 	if h == nil {
 		return ast.Fact{}, false, nil
 	}
 	for h.rel.Len() <= n {
+		if err := ctx.Err(); err != nil {
+			return ast.Fact{}, false, err
+		}
 		if s.failure != nil {
 			return ast.Fact{}, false, s.failure
 		}
@@ -261,6 +194,11 @@ func (s *Session) Next(pred string, n int) (ast.Fact, bool, error) {
 			// All producers report dry or cyclic: one global sweep decides
 			// whether the cycles can still be fed (real-miss detection).
 			if !s.sweep() {
+				if err := ctx.Err(); err != nil {
+					// The dry round was (possibly) a cancellation unwind, not
+					// a real miss: report the cancellation, not exhaustion.
+					return ast.Fact{}, false, err
+				}
 				s.quiesced = s.allQuiesced()
 				if h.rel.Len() <= n {
 					return ast.Fact{}, false, s.failure
@@ -297,6 +235,9 @@ func (s *Session) step(f *ruleFilter) stepResult {
 	if f.active {
 		return stepCyclicMiss
 	}
+	if s.cancelled() {
+		return stepDry
+	}
 	f.active = true
 	defer func() { f.active = false }()
 
@@ -307,6 +248,9 @@ func (s *Session) step(f *ruleFilter) stepResult {
 			i := (f.rr + k) % len(f.cr.Pos)
 			rel := s.db.Rel(f.cr.Pos[i].Pred, f.cr.Pos[i].Arity())
 			for f.cursors[i] < rel.Len() {
+				if s.cancelled() {
+					return stepDry
+				}
 				m := rel.At(f.cursors[i])
 				f.cursors[i]++
 				got, err := s.fire(f, i, m)
@@ -359,6 +303,35 @@ func (s *Session) pullGuarded(ph *hub, sawCyclic *bool) bool {
 	return ph.rel.Len() > before
 }
 
+// pollStride bounds how often the per-tuple loops poll the context:
+// ctx.Err takes a lock, so paying it on every delta tuple would tax the
+// hot path the interned-ID work keeps allocation-free. Polling every
+// 256 firings keeps cancellation latency far below the millisecond
+// scale the API promises. Must be a power of two.
+const pollStride = 256
+
+// cancelled reports whether the context of the current drive call has
+// been cancelled, polling the context once per pollStride calls and
+// latching the answer for the rest of the drive. The skipped work leaves
+// cursors behind, so an unwound pull never admits partial state or
+// reports a spurious quiescence.
+func (s *Session) cancelled() bool {
+	if s.ctxDone {
+		return true
+	}
+	if s.ctx == nil {
+		return false
+	}
+	if s.pollTick++; s.pollTick&(pollStride-1) != 0 {
+		return false
+	}
+	if s.ctx.Err() != nil {
+		s.ctxDone = true
+		return true
+	}
+	return false
+}
+
 // sweep runs every filter once over its available deltas (no recursive
 // pulls); it reports whether anything new was admitted. A full sweep with
 // no progress turns outstanding cyclic misses into real misses.
@@ -371,6 +344,9 @@ func (s *Session) sweep() bool {
 		for i := range f.cr.Pos {
 			rel := s.db.Rel(f.cr.Pos[i].Pred, f.cr.Pos[i].Arity())
 			for f.cursors[i] < rel.Len() {
+				if s.cancelled() {
+					return false
+				}
 				m := rel.At(f.cursors[i])
 				f.cursors[i]++
 				got, err := s.fire(f, i, m)
@@ -520,15 +496,16 @@ func (s *Session) admit(hf ast.Fact, ruleID int, parents []*core.FactMeta) (bool
 // Drain materializes the complete reasoning result (all output predicates
 // to exhaustion, constraints and EGDs enforced). It is the batch entry
 // point; the streaming API is Next.
-func (s *Session) Drain() error {
+func (s *Session) Drain(ctx context.Context) error {
+	s.ctx, s.ctxDone = ctx, false
 	// Drive every output hub to exhaustion; if the program declares no
 	// outputs, drive every IDB predicate (universal tuple inference).
-	targets := make([]string, 0, len(s.prog.Outputs))
-	for pred := range s.prog.Outputs {
+	targets := make([]string, 0, len(s.c.prog.Outputs))
+	for pred := range s.c.prog.Outputs {
 		targets = append(targets, pred)
 	}
 	if len(targets) == 0 {
-		for pred := range s.prog.IDBPreds() {
+		for pred := range s.c.prog.IDBPreds() {
 			targets = append(targets, pred)
 		}
 	}
@@ -536,7 +513,7 @@ func (s *Session) Drain() error {
 	for _, pred := range targets {
 		n := 0
 		for {
-			_, ok, err := s.Next(pred, n)
+			_, ok, err := s.Next(ctx, pred, n)
 			if err != nil {
 				return err
 			}
@@ -549,26 +526,36 @@ func (s *Session) Drain() error {
 	// Sweep to fixpoint so constraint/EGD filters observe every fact.
 	for s.sweep() {
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if s.failure != nil {
 		return s.failure
 	}
 	return nil
 }
 
-// Run loads facts, drains the pipeline and returns the materialized
-// result.
-func (s *Session) Run(edb []ast.Fact) error {
-	for _, f := range s.prog.Facts {
+// LoadProgramFacts admits the program's inline fact literals — the same
+// facts Run loads before the EDB. Streaming callers that drive Next
+// directly (bypassing Run) must call it once before pulling.
+func (s *Session) LoadProgramFacts() {
+	for _, f := range s.c.prog.Facts {
 		s.Load(f)
 	}
+}
+
+// Run loads facts, drains the pipeline and returns the materialized
+// result. Cancelling ctx aborts the fixpoint between rule firings.
+func (s *Session) Run(ctx context.Context, edb []ast.Fact) error {
+	s.LoadProgramFacts()
 	s.Load(edb...)
-	return s.Drain()
+	return s.Drain(ctx)
 }
 
 // Output returns pred's facts with @post directives applied, like
 // chase.Result.Output.
 func (s *Session) Output(pred string) []ast.Fact {
-	return eval.ApplyPost(s.db.FactsOf(pred), s.prog.Posts, pred, s.subst)
+	return eval.ApplyPost(s.db.FactsOf(pred), s.c.prog.Posts, pred, s.subst)
 }
 
 // DB exposes the session's database (benchmarks, diagnostics).
@@ -584,7 +571,10 @@ func (s *Session) Buffer() *storage.BufferManager { return s.bm }
 func (s *Session) Derivations() int { return s.derivations }
 
 // Program returns the rewritten program the session executes.
-func (s *Session) Program() *ast.Program { return s.prog }
+func (s *Session) Program() *ast.Program { return s.c.prog }
 
 // Analysis returns the warded analysis of the executed program.
-func (s *Session) Analysis() *analysis.Result { return s.res }
+func (s *Session) Analysis() *analysis.Result { return s.c.res }
+
+// Compiled returns the shared compile-time artifact backing the session.
+func (s *Session) Compiled() *Compiled { return s.c }

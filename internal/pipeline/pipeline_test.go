@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -22,7 +23,7 @@ func runPipeline(t *testing.T, src string, edb []ast.Fact) *Session {
 	if err != nil {
 		t.Fatalf("new: %v", err)
 	}
-	if err := s.Run(edb); err != nil {
+	if err := s.Run(context.Background(), edb); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	return s
@@ -65,7 +66,7 @@ func TestPipelineStreaming(t *testing.T) {
 	s.Load(edb...)
 	count := 0
 	for {
-		_, ok, err := s.Next("path", count)
+		_, ok, err := s.Next(context.Background(), "path", count)
 		if err != nil {
 			t.Fatalf("next: %v", err)
 		}
@@ -111,7 +112,7 @@ func TestPipelineInconsistency(t *testing.T) {
 	if err != nil {
 		t.Fatalf("new: %v", err)
 	}
-	err = s.Run([]ast.Fact{ast.NewFact("own", term.String("a"), term.String("a"), term.Float(1))})
+	err = s.Run(context.Background(), []ast.Fact{ast.NewFact("own", term.String("a"), term.String("a"), term.Float(1))})
 	if !errors.Is(err, ErrInconsistent) {
 		t.Fatalf("want ErrInconsistent, got %v", err)
 	}
@@ -122,7 +123,7 @@ func TestPipelineInconsistency(t *testing.T) {
 func crossValidate(t *testing.T, src string, edb []ast.Fact, preds ...string) {
 	t.Helper()
 	prog1 := parser.MustParse(src)
-	ch, err := chase.Run(prog1, edb, chase.Options{})
+	ch, err := chase.Run(context.Background(), prog1, edb, chase.Options{})
 	if err != nil {
 		t.Fatalf("chase: %v", err)
 	}
@@ -131,7 +132,7 @@ func crossValidate(t *testing.T, src string, edb []ast.Fact, preds ...string) {
 	if err != nil {
 		t.Fatalf("pipeline new: %v", err)
 	}
-	if err := pl.Run(edb); err != nil {
+	if err := pl.Run(context.Background(), edb); err != nil {
 		t.Fatalf("pipeline run: %v", err)
 	}
 	for _, pred := range preds {
@@ -288,7 +289,7 @@ func TestPipelineBufferEviction(t *testing.T) {
 		edb = append(edb, ast.NewFact("edge",
 			term.String(fmt.Sprintf("n%d", i)), term.String(fmt.Sprintf("n%d", i+1))))
 	}
-	if err := s.Run(edb); err != nil {
+	if err := s.Run(context.Background(), edb); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if s.Buffer().Evictions == 0 {
@@ -326,5 +327,71 @@ func TestPipelineDeterminism(t *testing.T) {
 		if render() != first {
 			t.Fatalf("non-deterministic pipeline output")
 		}
+	}
+}
+
+// TestCompiledSharedAcrossSessions: one Compiled artifact, several
+// sessions over different databases — per-run state must be fully
+// isolated (fresh interner, strategy, cursors).
+func TestCompiledSharedAcrossSessions(t *testing.T) {
+	src := `
+		edge(X,Y) -> path(X,Y).
+		path(X,Y), edge(Y,Z) -> path(X,Z).
+		@output("path").
+	`
+	c, err := Compile(parser.MustParse(src), Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	for k := 1; k <= 3; k++ {
+		s := c.NewSession()
+		var edb []ast.Fact
+		for i := 0; i < k; i++ {
+			edb = append(edb, ast.NewFact("edge",
+				term.String(fmt.Sprintf("s%d_%d", k, i)), term.String(fmt.Sprintf("s%d_%d", k, i+1))))
+		}
+		if err := s.Run(context.Background(), edb); err != nil {
+			t.Fatalf("run %d: %v", k, err)
+		}
+		if got, want := len(s.Output("path")), k*(k+1)/2; got != want {
+			t.Errorf("session %d: %d paths, want %d", k, got, want)
+		}
+	}
+}
+
+// TestPipelineCancellation: a cancelled context aborts both the batch
+// drain and the streaming pull without corrupting the session.
+func TestPipelineCancellation(t *testing.T) {
+	src := `
+		a(X), a(Y) -> pair(X,Y).
+		pair(X,Y), a(Z) -> triple(X,Y,Z).
+		@output("triple").
+	`
+	s, err := New(parser.MustParse(src), Options{})
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	var edb []ast.Fact
+	for i := 0; i < 300; i++ {
+		edb = append(edb, ast.NewFact("a", term.Int(int64(i))))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Run(ctx, edb); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// The session must remain consistent: a live context finishes the job.
+	small, err := New(parser.MustParse(src), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := small.Run(ctx, edb[:5]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled context must also stop a small run, got %v", err)
+	}
+	if err := small.Drain(context.Background()); err != nil {
+		t.Fatalf("resume after cancellation: %v", err)
+	}
+	if got := len(small.Output("triple")); got != 5*5*5 {
+		t.Errorf("resumed run: %d triples, want 125", got)
 	}
 }

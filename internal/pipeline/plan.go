@@ -6,19 +6,19 @@ import (
 	"strings"
 )
 
-// Plan renders the session's reasoning access plan (paper Sec. 4, step 2:
+// Plan renders the compiled reasoning access plan (paper Sec. 4, step 2:
 // the logic compiler's pipeline of filters and pipes): one line per filter
 // with its generating-rule kind and termination-wrapper role, and the
-// pipes from the predicates it reads to the predicate it feeds.
-func (s *Session) Plan() string {
+// pipes from the predicates it reads to the predicate it feeds. The plan
+// is a compile-time artifact: it exists before any session runs.
+func (c *Compiled) Plan() string {
 	var sb strings.Builder
 	sb.WriteString("reasoning access plan (filters and pipes)\n")
 
 	// Source filters: EDB predicates (never produced by a rule).
-	idb := s.prog.IDBPreds()
+	idb := c.prog.IDBPreds()
 	var sources []string
-	preds, _ := s.prog.Predicates()
-	for pred := range preds {
+	for pred := range c.preds {
 		if !idb[pred] {
 			sources = append(sources, pred)
 		}
@@ -28,10 +28,10 @@ func (s *Session) Plan() string {
 		fmt.Fprintf(&sb, "  source  %s\n", pred)
 	}
 
-	for _, f := range s.filters {
-		r := f.cr.Rule
+	for _, cr := range c.rules {
+		r := cr.Rule
 		var reads []string
-		for _, a := range f.cr.Pos {
+		for _, a := range cr.Pos {
 			reads = append(reads, a.Pred)
 		}
 		role := "filter"
@@ -50,11 +50,11 @@ func (s *Session) Plan() string {
 			head = r.EGD.Left + "=" + r.EGD.Right
 		}
 		fmt.Fprintf(&sb, "  %-10s r%-3d [%s] %s -> %s\n",
-			role, r.ID, f.cr.Info.Kind, strings.Join(reads, " ⋈ "), head)
+			role, r.ID, cr.Info.Kind, strings.Join(reads, " ⋈ "), head)
 	}
 
 	var sinks []string
-	for pred := range s.prog.Outputs {
+	for pred := range c.prog.Outputs {
 		sinks = append(sinks, pred)
 	}
 	sort.Strings(sinks)
@@ -63,3 +63,7 @@ func (s *Session) Plan() string {
 	}
 	return sb.String()
 }
+
+// Plan renders the session's reasoning access plan (delegates to the
+// shared compiled artifact).
+func (s *Session) Plan() string { return s.c.Plan() }

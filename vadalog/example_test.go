@@ -1,0 +1,112 @@
+package vadalog_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/vadalog"
+)
+
+// ExampleCompile shows the compile-once serving pattern: the program is
+// analyzed, rewritten and planned a single time, then the shared Reasoner
+// answers any number of (possibly concurrent) queries over different
+// databases.
+func ExampleCompile() {
+	prog := vadalog.MustParse(`
+		edge(X,Y) -> path(X,Y).
+		path(X,Y), edge(Y,Z) -> path(X,Z).
+		@output("path").
+	`)
+	reasoner, err := vadalog.Compile(prog, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, edges := range [][]vadalog.Fact{
+		{vadalog.MakeFact("edge", vadalog.Str("a"), vadalog.Str("b"))},
+		{
+			vadalog.MakeFact("edge", vadalog.Str("a"), vadalog.Str("b")),
+			vadalog.MakeFact("edge", vadalog.Str("b"), vadalog.Str("c")),
+		},
+	} {
+		res, err := reasoner.Query(context.Background(), edges)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d edges -> %d paths\n", len(edges), len(res.Output("path")))
+	}
+	// Output:
+	// 1 edges -> 1 paths
+	// 2 edges -> 3 paths
+}
+
+// ExampleReasoner_Query runs one reasoning task (Example 2 of the paper:
+// company control through majority ownership) and reads the result.
+func ExampleReasoner_Query() {
+	prog := vadalog.MustParse(`
+		own(X,Y,W), W > 0.5 -> control(X,Y).
+		control(X,Y), own(Y,Z,W), V = msum(W, <Y>), V > 0.5 -> control(X,Z).
+		@output("control").
+	`)
+	reasoner, err := vadalog.Compile(prog, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := reasoner.Query(context.Background(), []vadalog.Fact{
+		vadalog.MakeFact("own", vadalog.Str("a"), vadalog.Str("b"), vadalog.Flt(0.6)),
+		vadalog.MakeFact("own", vadalog.Str("b"), vadalog.Str("c"), vadalog.Flt(0.7)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var lines []string
+	for _, f := range res.Output("control") {
+		lines = append(lines, f.String())
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	// Output:
+	// control(a,b)
+	// control(a,c)
+	// control(b,c)
+}
+
+// ExampleReasoner_Stream consumes derived facts lazily with a
+// range-over-func iterator: the pipeline engine derives each fact on
+// demand (the volcano next() of the paper), so the loop may stop early
+// without materializing the full answer.
+func ExampleReasoner_Stream() {
+	prog := vadalog.MustParse(`
+		edge(X,Y) -> path(X,Y).
+		path(X,Y), edge(Y,Z) -> path(X,Z).
+		@output("path").
+	`)
+	reasoner, err := vadalog.Compile(prog, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	facts := []vadalog.Fact{
+		vadalog.MakeFact("edge", vadalog.Str("a"), vadalog.Str("b")),
+		vadalog.MakeFact("edge", vadalog.Str("b"), vadalog.Str("c")),
+		vadalog.MakeFact("edge", vadalog.Str("c"), vadalog.Str("d")),
+	}
+	n := 0
+	for f, err := range reasoner.Stream(context.Background(), facts, "path") {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(f)
+		n++
+		if n == 4 { // stop early: the remaining paths are never derived
+			break
+		}
+	}
+	// Output:
+	// path(a,b)
+	// path(a,c)
+	// path(b,c)
+	// path(a,d)
+}

@@ -1,0 +1,189 @@
+package vadalog
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+
+	"repro/internal/ast"
+	"repro/internal/chase"
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/rewrite"
+)
+
+// ErrNotRun is returned by Session.Result when the session has not been
+// run yet: there is no reasoning result to report.
+var ErrNotRun = errors.New("vadalog: session has not been run")
+
+// Reasoner is an immutable compiled reasoning program: wardedness
+// analysis, harmful-join rewriting, rule compilation and plan
+// construction are all performed exactly once, in Compile. A Reasoner is
+// safe for concurrent use by any number of goroutines — a typical service
+// compiles its programs at startup and serves every request through
+// Query, NewSession or Stream, each of which spins up cheap per-request
+// runtime state (database, interner, termination strategy, buffers).
+type Reasoner struct {
+	opts Options
+	prog *ast.Program
+	plc  *pipeline.Compiled
+	chc  *chase.Compiled
+}
+
+// Compile compiles prog into a shareable Reasoner. opts == nil selects
+// the defaults (pipeline engine, full termination strategy, default
+// rewriting).
+func Compile(prog *Program, opts *Options) (*Reasoner, error) {
+	o := Options{}
+	if opts != nil {
+		o = *opts
+	}
+	r := &Reasoner{opts: o, prog: prog}
+	var rw *rewrite.Options
+	if o.DisableRewriting {
+		rw = &rewrite.Options{}
+	}
+	newPolicy, disableSummary := policyFactory(o.Policy)
+	switch o.Engine {
+	case EnginePipeline:
+		plc, err := pipeline.Compile(prog, pipeline.Options{
+			Rewrite:             rw,
+			MaxDerivations:      o.MaxDerivations,
+			BufferCapacity:      o.BufferCapacity,
+			RequireWarded:       o.RequireWarded,
+			NewPolicy:           newPolicy,
+			DisableSummary:      disableSummary,
+			DisableDynamicIndex: o.DisableDynamicIndex,
+		})
+		if err != nil {
+			return nil, err
+		}
+		r.plc = plc
+	case EngineChase:
+		chc, err := chase.Compile(prog, chase.Options{
+			Rewrite:             rw,
+			MaxDerivations:      o.MaxDerivations,
+			RequireWarded:       o.RequireWarded,
+			NewPolicy:           newPolicy,
+			DisableSummary:      disableSummary,
+			DisableDynamicIndex: o.DisableDynamicIndex,
+		})
+		if err != nil {
+			return nil, err
+		}
+		r.chc = chc
+	default:
+		return nil, fmt.Errorf("vadalog: unknown engine %d", o.Engine)
+	}
+	return r, nil
+}
+
+// MustCompile compiles prog with Compile and panics on error.
+func MustCompile(prog *Program, opts *Options) *Reasoner {
+	r, err := Compile(prog, opts)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// NewSession spins up fresh per-request runtime state over the shared
+// compiled program. Sessions are cheap (no analysis, rewriting or rule
+// compilation happens); each is for use by a single goroutine.
+func (r *Reasoner) NewSession() *Session {
+	s := &Session{opts: r.opts, prog: r.prog}
+	if r.plc != nil {
+		s.pl = r.plc.NewSession()
+	} else {
+		s.ch = r.chc.NewEngine()
+	}
+	return s
+}
+
+// Query runs the compiled program over facts in a fresh single-use
+// session and returns the materialized result. It is safe to call
+// concurrently on a shared Reasoner — with one filesystem caveat: a
+// program with @bind'ed *output* predicates writes its bound CSV targets
+// on every query, so concurrent queries of such a program race on those
+// files. Cancelling ctx aborts the reasoning fixpoint promptly and
+// returns ctx's error.
+func (r *Reasoner) Query(ctx context.Context, facts []Fact) (*Result, error) {
+	s := r.NewSession()
+	s.Load(facts...)
+	if err := s.RunContext(ctx); err != nil {
+		return nil, err
+	}
+	return s.Result()
+}
+
+// Stream runs the compiled program over facts in a fresh single-use
+// session and yields the facts of pred lazily as they are derived (the
+// volcano next() of the paper, surfaced as a Go 1.23+ range-over-func
+// iterator). The sequence yields (fact, nil) pairs until exhaustion; a
+// reasoning failure or context cancellation yields one final
+// (zero fact, err) pair. It is safe to call concurrently on a shared
+// Reasoner.
+func (r *Reasoner) Stream(ctx context.Context, facts []Fact, pred string) iter.Seq2[Fact, error] {
+	return func(yield func(Fact, error) bool) {
+		s := r.NewSession()
+		s.Load(facts...)
+		for f, err := range s.Facts(ctx, pred) {
+			if !yield(f, err) || err != nil {
+				return
+			}
+		}
+	}
+}
+
+// Plan renders the reasoning access plan compiled into the Reasoner
+// (pipeline engine only).
+func (r *Reasoner) Plan() (string, error) {
+	if r.plc == nil {
+		return "", fmt.Errorf("vadalog: access plans are a pipeline-engine artifact")
+	}
+	return r.plc.Plan(), nil
+}
+
+// Program returns the program the Reasoner was compiled from.
+func (r *Reasoner) Program() *Program { return r.prog }
+
+// Result is the materialized outcome of one reasoning run. Outputs are
+// read through it; a Result only exists for sessions that actually ran,
+// which makes the "read before run" mistake unrepresentable (cf.
+// ErrNotRun).
+type Result struct {
+	prog        *ast.Program
+	output      func(pred string) []Fact
+	derivations int
+	strategy    core.Policy
+}
+
+// Output returns the facts of pred with @post directives applied.
+func (res *Result) Output(pred string) []Fact { return res.output(pred) }
+
+// All returns the outputs of every @output predicate (every IDB
+// predicate when none are declared), keyed by predicate.
+func (res *Result) All() map[string][]Fact {
+	preds := res.prog.Outputs
+	if len(preds) == 0 {
+		preds = res.prog.IDBPreds()
+	}
+	out := make(map[string][]Fact, len(preds))
+	for pred := range preds {
+		out[pred] = res.output(pred)
+	}
+	return out
+}
+
+// Derivations reports the number of admitted facts (EDB included).
+func (res *Result) Derivations() int { return res.derivations }
+
+// StrategyStats returns the termination-strategy counters when the full
+// strategy is in use.
+func (res *Result) StrategyStats() (core.Stats, bool) {
+	if st, ok := res.strategy.(*core.Strategy); ok {
+		return st.Stats(), true
+	}
+	return core.Stats{}, false
+}

@@ -3,18 +3,27 @@
 // Datalog± with the termination strategy of Bellomarini, Sallinger and
 // Gottlob (VLDB 2018).
 //
-// A reasoning task is a program (rules + annotations) evaluated over a
-// database of facts:
+// A reasoning task is a program (rules + annotations) compiled once into
+// an immutable, goroutine-shareable Reasoner and then executed over
+// changing databases of facts:
 //
 //	prog, err := vadalog.Parse(`
 //	    own(X,Y,W), W > 0.5 -> control(X,Y).
 //	    control(X,Y), own(Y,Z,W), V = msum(W, <Y>), V > 0.5 -> control(X,Z).
 //	    @output("control").
 //	`)
-//	sess, err := vadalog.NewSession(prog, nil)
-//	sess.Load(vadalog.MakeFact("own", vadalog.Str("a"), vadalog.Str("b"), vadalog.Flt(0.6)))
-//	err = sess.Run()
-//	for _, f := range sess.Output("control") { ... }
+//	r, err := vadalog.Compile(prog, nil) // analysis+rewrite+plans, once
+//	res, err := r.Query(ctx, []vadalog.Fact{
+//	    vadalog.MakeFact("own", vadalog.Str("a"), vadalog.Str("b"), vadalog.Flt(0.6)),
+//	})
+//	for _, f := range res.Output("control") { ... }
+//
+// Query calls on a shared Reasoner are safe to issue concurrently and
+// honor context cancellation mid-fixpoint. Derived facts can also be
+// consumed lazily with Reasoner.Stream (a range-over-func iterator), and
+// incremental multi-step workloads use Reasoner.NewSession. NewSession
+// (package level) and Reason are the original compile-per-run entry
+// points, kept as thin shims over Compile.
 //
 // The default engine is the streaming pipeline of the paper's Sec. 4; the
 // reference chase engine and the baseline termination policies of the
@@ -22,8 +31,10 @@
 package vadalog
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"iter"
 	"strings"
 
 	"repro/internal/analysis"
@@ -33,7 +44,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/parser"
 	"repro/internal/pipeline"
-	"repro/internal/rewrite"
 	"repro/internal/term"
 )
 
@@ -123,7 +133,10 @@ func Parse(src string) (*Program, error) { return parser.Parse(src) }
 // MustParse parses src and panics on error.
 func MustParse(src string) *Program { return parser.MustParse(src) }
 
-// Session is one reasoning session over a program.
+// Session is one reasoning session over a program: per-run state (facts,
+// database, strategy) layered over a compiled Reasoner. Sessions are for
+// use by a single goroutine; to serve concurrent requests share the
+// Reasoner and give each request its own Session (or just use Query).
 type Session struct {
 	opts    Options
 	prog    *ast.Program
@@ -131,53 +144,20 @@ type Session struct {
 	ch      *chase.Engine
 	chRes   *chase.Result
 	pending []ast.Fact
+	loaded  bool // @bind'ed inputs have been read (exactly once)
 	ran     bool
 }
 
-// NewSession compiles prog. opts == nil selects the defaults.
+// NewSession compiles prog and opens a session over it in one step (the
+// original compile-per-run entry point). opts == nil selects the
+// defaults. To amortize compilation across runs, use Compile once and
+// Reasoner.NewSession per run.
 func NewSession(prog *Program, opts *Options) (*Session, error) {
-	o := Options{}
-	if opts != nil {
-		o = *opts
+	r, err := Compile(prog, opts)
+	if err != nil {
+		return nil, err
 	}
-	s := &Session{opts: o, prog: prog}
-	var rw *rewrite.Options
-	if o.DisableRewriting {
-		rw = &rewrite.Options{}
-	}
-	newPolicy, disableSummary := policyFactory(o.Policy)
-	switch o.Engine {
-	case EnginePipeline:
-		pl, err := pipeline.New(prog, pipeline.Options{
-			Rewrite:             rw,
-			MaxDerivations:      o.MaxDerivations,
-			BufferCapacity:      o.BufferCapacity,
-			RequireWarded:       o.RequireWarded,
-			NewPolicy:           newPolicy,
-			DisableSummary:      disableSummary,
-			DisableDynamicIndex: o.DisableDynamicIndex,
-		})
-		if err != nil {
-			return nil, err
-		}
-		s.pl = pl
-	case EngineChase:
-		ch, err := chase.New(prog, chase.Options{
-			Rewrite:             rw,
-			MaxDerivations:      o.MaxDerivations,
-			RequireWarded:       o.RequireWarded,
-			NewPolicy:           newPolicy,
-			DisableSummary:      disableSummary,
-			DisableDynamicIndex: o.DisableDynamicIndex,
-		})
-		if err != nil {
-			return nil, err
-		}
-		s.ch = ch
-	default:
-		return nil, fmt.Errorf("vadalog: unknown engine %d", o.Engine)
-	}
-	return s, nil
+	return r.NewSession(), nil
 }
 
 func policyFactory(p Policy) (func(*analysis.Result) core.Policy, bool) {
@@ -206,27 +186,51 @@ func (s *Session) Load(facts ...Fact) {
 
 // Run executes the reasoning task to completion: it loads any @bind'ed
 // CSV inputs and the staged facts, drains the engine, enforces
-// constraints and EGDs, and writes @bind'ed outputs.
-func (s *Session) Run() error {
-	bound, err := loadBoundInputs(s.prog)
-	if err != nil {
+// constraints and EGDs, and writes @bind'ed outputs. It is equivalent to
+// RunContext with a background context.
+func (s *Session) Run() error { return s.RunContext(context.Background()) }
+
+// RunContext is Run with cancellation: cancelling ctx aborts the
+// reasoning fixpoint between rule firings and returns ctx's error.
+// Bound inputs and staged facts are loaded exactly once per session; a
+// second call only resumes the engine (a no-op unless facts were loaded
+// in between).
+func (s *Session) RunContext(ctx context.Context) error {
+	if err := s.stage(); err != nil {
 		return err
 	}
-	facts := append(bound, s.pending...)
+	facts := s.pending
+	s.pending = nil
 	s.ran = true
 	switch {
 	case s.pl != nil:
-		if err := s.pl.Run(facts); err != nil {
+		if err := s.pl.Run(ctx, facts); err != nil {
 			return mapErr(err)
 		}
 	default:
-		res, err := s.ch.Run(facts)
+		res, err := s.ch.Run(ctx, facts)
 		if err != nil {
 			return mapErr(err)
 		}
 		s.chRes = res
 	}
 	return s.writeBoundOutputs()
+}
+
+// stage reads the @bind'ed input sources and prepends them to the staged
+// facts — exactly once per session, however many times Run or Stream are
+// invoked afterwards.
+func (s *Session) stage() error {
+	if s.loaded {
+		return nil
+	}
+	bound, err := loadBoundInputs(s.prog)
+	if err != nil {
+		return err
+	}
+	s.loaded = true
+	s.pending = append(bound, s.pending...)
+	return nil
 }
 
 func mapErr(err error) error {
@@ -241,6 +245,11 @@ func mapErr(err error) error {
 }
 
 // Output returns the facts of pred with @post directives applied.
+//
+// Contract: before the session has been run, Output returns nil (there is
+// no result yet). Use Result, which fails with ErrNotRun instead of
+// silently returning nothing, when "not run yet" must be distinguishable
+// from "empty answer".
 func (s *Session) Output(pred string) []Fact {
 	switch {
 	case s.pl != nil:
@@ -252,22 +261,94 @@ func (s *Session) Output(pred string) []Fact {
 	}
 }
 
+// Result returns the session's materialized reasoning result, or ErrNotRun
+// when the session has not been run yet.
+func (s *Session) Result() (*Result, error) {
+	res := &Result{prog: s.prog}
+	switch {
+	case s.pl != nil && s.ran:
+		pl := s.pl
+		res.output = pl.Output
+		res.derivations = pl.Derivations()
+		res.strategy = pl.Strategy()
+	case s.chRes != nil:
+		chRes := s.chRes
+		res.output = chRes.Output
+		res.derivations = chRes.Derivations
+		res.strategy = chRes.Strategy
+	default:
+		return nil, ErrNotRun
+	}
+	return res, nil
+}
+
+// Facts pulls the facts of pred lazily as a range-over-func iterator: the
+// pipeline engine derives them on demand (volcano next()); the chase
+// engine materializes on the first pull and then iterates (facts loaded
+// after that point require a new session). The sequence yields (fact,
+// nil) pairs until exhaustion; a reasoning failure or context
+// cancellation yields one final (zero fact, err) pair and stops.
+func (s *Session) Facts(ctx context.Context, pred string) iter.Seq2[Fact, error] {
+	return func(yield func(Fact, error) bool) {
+		if s.pl != nil {
+			if !s.ran {
+				if err := s.stage(); err != nil {
+					yield(Fact{}, err)
+					return
+				}
+				s.pl.LoadProgramFacts()
+				s.pl.Load(s.pending...)
+				s.pending = nil
+				s.ran = true
+			}
+			for n := 0; ; n++ {
+				f, ok, err := s.pl.Next(ctx, pred, n)
+				if err != nil {
+					yield(Fact{}, mapErr(err))
+					return
+				}
+				if !ok {
+					return
+				}
+				if !yield(f, nil) {
+					return
+				}
+			}
+		}
+		if s.chRes == nil {
+			if err := s.RunContext(ctx); err != nil {
+				yield(Fact{}, err)
+				return
+			}
+		}
+		for _, f := range s.chRes.Output(pred) {
+			if !yield(f, nil) {
+				return
+			}
+		}
+	}
+}
+
 // Stream pulls facts of pred lazily through the pipeline (volcano next());
 // it falls back to materialized iteration on the chase engine. The
 // returned function yields (fact, true) until exhaustion.
+//
+// Stream is the original closure-based streaming API; new code should
+// range over Session.Facts or Reasoner.Stream instead.
 func (s *Session) Stream(pred string) func() (Fact, bool, error) {
 	if s.pl != nil {
 		if !s.ran {
-			bound, err := loadBoundInputs(s.prog)
-			if err != nil {
+			if err := s.stage(); err != nil {
 				return func() (Fact, bool, error) { return Fact{}, false, err }
 			}
-			s.pl.Load(append(bound, s.pending...)...)
+			s.pl.LoadProgramFacts()
+			s.pl.Load(s.pending...)
+			s.pending = nil
 			s.ran = true
 		}
 		n := 0
 		return func() (Fact, bool, error) {
-			f, ok, err := s.pl.Next(pred, n)
+			f, ok, err := s.pl.Next(context.Background(), pred, n)
 			if ok {
 				n++
 			}
@@ -304,6 +385,10 @@ func mapNilErr(err error) error {
 }
 
 // Derivations reports the number of admitted facts (EDB included).
+//
+// Contract: before the session has been run it reports the facts admitted
+// so far (0 when nothing is loaded); see Result / ErrNotRun to tell "not
+// run" apart from "derived nothing".
 func (s *Session) Derivations() int {
 	switch {
 	case s.pl != nil:
@@ -331,38 +416,30 @@ func (s *Session) StrategyStats() (core.Stats, bool) {
 	return core.Stats{}, false
 }
 
-// Reason is the one-shot entry point: parse nothing, just run prog over
-// facts and collect the outputs of the @output predicates (all IDB
-// predicates when none are declared).
+// Reason is the one-shot entry point: compile prog, run it over facts and
+// collect the outputs of the @output predicates (all IDB predicates when
+// none are declared). It is a shim over Compile + Query.
 func Reason(prog *Program, facts []Fact, opts *Options) (map[string][]Fact, error) {
-	s, err := NewSession(prog, opts)
+	r, err := Compile(prog, opts)
 	if err != nil {
 		return nil, err
 	}
-	s.Load(facts...)
-	if err := s.Run(); err != nil {
+	res, err := r.Query(context.Background(), facts)
+	if err != nil {
 		return nil, err
 	}
-	out := make(map[string][]Fact)
-	preds := prog.Outputs
-	if len(preds) == 0 {
-		preds = prog.IDBPreds()
-	}
-	for pred := range preds {
-		out[pred] = s.Output(pred)
-	}
-	return out, nil
+	return res.All(), nil
 }
 
 // PlanString compiles prog with the default options and renders its
 // reasoning access plan (the logic compiler's filter pipeline, paper
 // Sec. 4) without running it.
 func PlanString(prog *Program) (string, error) {
-	pl, err := pipeline.New(prog, pipeline.Options{})
+	c, err := pipeline.Compile(prog, pipeline.Options{})
 	if err != nil {
 		return "", err
 	}
-	return pl.Plan(), nil
+	return c.Plan(), nil
 }
 
 // Check analyzes prog and returns a wardedness report without running it.
