@@ -27,6 +27,7 @@ import (
 	"repro/internal/gen/iwarded"
 	"repro/internal/gen/lubm"
 	"repro/internal/parser"
+	"repro/internal/pipeline"
 	"repro/internal/storage"
 	"repro/internal/term"
 	"repro/vadalog"
@@ -636,6 +637,56 @@ func BenchmarkScenario_CompanyControl(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		runOnce(b, graphs.ControlProgram, facts, "control", nil)
+	}
+}
+
+// BenchmarkAggregate_Supersession measures the aggregate-heavy scenarios
+// under the supersession layer (PR 3): companycontrol's recursive msum
+// over a scale-free ownership graph and AllPSC's munion over the DBpedia
+// shape. Superseded intermediates are replaced in place, so live-facts
+// (and with it retained bytes and insert work) stays at one fact per
+// aggregate group instead of one per improvement.
+func BenchmarkAggregate_Supersession(b *testing.B) {
+	n := int(50_000 * benchScale())
+	if n < 200 {
+		n = 200
+	}
+	g := graphs.RealLike(n, 42)
+	companies := int(20_000 * benchScale())
+	if companies < 300 {
+		companies = 300
+	}
+	psc := dbpedia.Generate(dbpedia.Config{Companies: companies, Persons: companies * 4,
+		KeyPersonRate: 1.2, ControlRate: 0.35, Seed: 7})
+	for _, sc := range []struct {
+		name  string
+		src   string
+		facts []ast.Fact
+	}{
+		{"companycontrol-msum", graphs.ControlProgram, g.OwnFacts()},
+		{"allpsc-munion", dbpedia.AllPSCProgram, psc.All()},
+	} {
+		sc := sc
+		b.Run(sc.name, func(b *testing.B) {
+			prog := parser.MustParse(sc.src)
+			c, err := pipeline.Compile(prog, pipeline.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var live, rows, derived int
+			for i := 0; i < b.N; i++ {
+				s := c.NewSession()
+				if err := s.Run(context.Background(), sc.facts); err != nil {
+					b.Fatal(err)
+				}
+				live, rows, derived = s.DB().LiveFacts(), s.DB().TotalFacts(), s.Derivations()
+			}
+			b.ReportMetric(float64(live), "live-facts")
+			b.ReportMetric(float64(rows), "stored-rows")
+			b.ReportMetric(float64(derived), "derived-facts")
+		})
 	}
 }
 

@@ -57,6 +57,13 @@ func (p *TrivialIso) CheckTermination(m *core.FactMeta) bool {
 	return true
 }
 
+// NoteSuperseded forgets a superseded aggregate intermediate: the fact is
+// no longer stored, so its isomorphism class must not cut a later,
+// independent derivation of the same value (core.SupersessionObserver).
+func (p *TrivialIso) NoteSuperseded(old ast.Fact) {
+	delete(p.seen, old.IsoKey())
+}
+
 // StoredFacts returns how many facts the global store holds.
 func (p *TrivialIso) StoredFacts() int { return len(p.seen) }
 
@@ -218,7 +225,8 @@ func (p *SkolemChase) Derive(f ast.Fact, ruleID int, parents []*core.FactMeta) *
 func (p *SkolemChase) CheckTermination(m *core.FactMeta) bool { return true }
 
 var (
-	_ core.Policy = (*TrivialIso)(nil)
-	_ core.Policy = (*RestrictedHom)(nil)
-	_ core.Policy = (*SkolemChase)(nil)
+	_ core.Policy               = (*TrivialIso)(nil)
+	_ core.Policy               = (*RestrictedHom)(nil)
+	_ core.Policy               = (*SkolemChase)(nil)
+	_ core.SupersessionObserver = (*TrivialIso)(nil)
 )

@@ -192,7 +192,7 @@ func (c *Compiled) NewEngine() *Engine {
 	for _, cr := range c.rules {
 		e.bindings = append(e.bindings, eval.NewBinding(cr))
 		if cr.Rule.Aggregate != nil {
-			e.aggs = append(e.aggs, eval.NewAggState(cr.Rule.Aggregate.Func))
+			e.aggs = append(e.aggs, eval.NewAggState(cr.Rule.Aggregate.Func, e.db.Interner()))
 		} else {
 			e.aggs = append(e.aggs, nil)
 		}
@@ -232,6 +232,19 @@ func (e *Engine) insertTagTwin(f ast.Fact) {
 	if !ok {
 		return
 	}
+	tf := e.tagTwinFact(twin, f)
+	rel := e.db.Rel(twin, len(tf.Args))
+	if rel.Contains(tf) {
+		return
+	}
+	m := e.strat.NewEDBFact(tf)
+	rel.Insert(m)
+	e.queue = append(e.queue, m)
+}
+
+// tagTwinFact renders the tag-twin image of f: labelled nulls replaced by
+// their canonical ground keys.
+func (e *Engine) tagTwinFact(twin string, f ast.Fact) ast.Fact {
 	args := make([]term.Value, len(f.Args))
 	for i, v := range f.Args {
 		if v.IsNull() {
@@ -240,14 +253,7 @@ func (e *Engine) insertTagTwin(f ast.Fact) {
 			args[i] = v
 		}
 	}
-	tf := ast.Fact{Pred: twin, Args: args}
-	rel := e.db.Rel(twin, len(args))
-	if rel.Contains(tf) {
-		return
-	}
-	m := e.strat.NewEDBFact(tf)
-	rel.Insert(m)
-	e.queue = append(e.queue, m)
+	return ast.Fact{Pred: twin, Args: args}
 }
 
 // Run executes the chase to fixpoint and returns the result. Cancelling
@@ -265,6 +271,9 @@ func (e *Engine) Run(ctx context.Context, edb []ast.Fact) (*Result, error) {
 		}
 		m := e.queue[0]
 		e.queue = e.queue[1:]
+		if m.Retracted {
+			continue // superseded aggregate intermediate, no longer a fact
+		}
 		for _, rp := range e.c.byPred[m.Fact.Pred] {
 			if err := e.fire(rp[0], rp[1], m); err != nil {
 				return nil, err
@@ -330,9 +339,18 @@ func (e *Engine) emit(ri int, cr *eval.CompiledRule, b *eval.Binding) error {
 				return err
 			}
 		}
-		agg, err := e.aggs[ri].Update(group, contrib, x)
+		agg, improved, err := e.aggs[ri].Update(group, contrib, x)
 		if err != nil {
 			return err
+		}
+		if !improved && cr.Agg.SkipSafe {
+			// The group's aggregate did not change and the post-aggregate
+			// conditions depend only on (result, group): this match
+			// evaluates exactly like the one that already emitted, so
+			// there is nothing new to emit. Unsafe rules (conditions over
+			// other body variables, existential heads) fall through to the
+			// full path; supersession makes re-emission idempotent.
+			return nil
 		}
 		b.Set(cr.Agg.ResultSlot, agg)
 		for i := range e.c.postAgg[ri] {
@@ -364,33 +382,117 @@ func (e *Engine) emit(ri int, cr *eval.CompiledRule, b *eval.Binding) error {
 		return err
 	}
 	parents := eval.WardFirstParents(cr, b)
-	for _, hf := range heads {
-		if err := e.admit(hf, rule.ID, parents); err != nil {
+	for hi, hf := range heads {
+		// Existential aggregate heads mint per-binding nulls: each binding
+		// is its own fact, not an improvement of the previous one, so they
+		// take the plain admission path (no supersession).
+		if cr.Agg != nil && len(cr.Exists) == 0 {
+			if err := e.admitAggregate(ri, hi, hf, rule.ID, parents); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := e.admit(hf, rule.ID, parents); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// admitAggregate admits an aggregate-head fact with supersession: when the
+// rule has previously admitted a fact for the current group (and this head
+// index), the improved fact replaces it in place — same FactMeta, same
+// forest roots and provenance — instead of accumulating next to the
+// superseded intermediate. Replacements count against the derivation
+// budget (they are chase steps) and re-enter the queue so dependent rules
+// observe the improved value.
+func (e *Engine) admitAggregate(ri, hi int, f ast.Fact, ruleID int, parents []*core.FactMeta) error {
+	st := e.aggs[ri]
+	prev, ok := st.LastEmitted(hi)
+	if !ok {
+		m, err := e.admit(f, ruleID, parents)
+		if err != nil {
+			return err
+		}
+		if m != nil {
+			rel := e.db.Rel(f.Pred, len(f.Args))
+			st.RecordEmitted(hi, m, rel.Len()-1)
+		}
+		return nil
+	}
+	old := prev.Meta.Fact
+	rel := e.db.Rel(f.Pred, len(f.Args))
+	switch rel.Replace(prev.Row, f) {
+	case storage.ReplaceUnchanged:
+		return nil // e.g. the aggregate result does not occur in the head
+	case storage.ReplaceRetracted:
+		// The improved value already exists as an independently stored
+		// fact; the superseded intermediate was retracted and the group is
+		// represented by that fact. The next improvement starts fresh.
+		st.RecordEmitted(hi, nil, 0)
+		e.noteSuperseded(old)
+		return nil
+	default: // ReplaceDone
+		if e.derivations >= e.budget {
+			return fmt.Errorf("%w (%d facts)", ErrBudget, e.derivations)
+		}
+		e.derivations++
+		e.queue = append(e.queue, prev.Meta)
+		e.noteSuperseded(old)
+		e.replaceTagTwin(old, f)
+		return nil
+	}
+}
+
+// noteSuperseded tells fact-memorizing termination policies that old is no
+// longer stored.
+func (e *Engine) noteSuperseded(old ast.Fact) {
+	if obs, ok := e.strat.(core.SupersessionObserver); ok {
+		obs.NoteSuperseded(old)
+	}
+}
+
 // admit runs the set-semantics duplicate check, the termination strategy,
-// and on success stores the fact and schedules it.
-func (e *Engine) admit(f ast.Fact, ruleID int, parents []*core.FactMeta) error {
+// and on success stores the fact and schedules it. It returns the stored
+// metadata, nil when the fact was rejected.
+func (e *Engine) admit(f ast.Fact, ruleID int, parents []*core.FactMeta) (*core.FactMeta, error) {
 	rel := e.db.Rel(f.Pred, len(f.Args))
 	if rel.Contains(f) {
-		return nil
+		return nil, nil
 	}
 	m := e.strat.Derive(f, ruleID, parents)
 	if !e.strat.CheckTermination(m) {
-		return nil
+		return nil, nil
 	}
 	if e.derivations >= e.budget {
-		return fmt.Errorf("%w (%d facts)", ErrBudget, e.derivations)
+		return nil, fmt.Errorf("%w (%d facts)", ErrBudget, e.derivations)
 	}
 	rel.Insert(m)
 	e.derivations++
 	e.queue = append(e.queue, m)
 	e.insertTagTwin(f)
-	return nil
+	return m, nil
+}
+
+// replaceTagTwin mirrors an aggregate supersession into the tag twin of a
+// tagged predicate: the twin of the superseded fact is replaced by the
+// twin of the improved one.
+func (e *Engine) replaceTagTwin(old, f ast.Fact) {
+	twin, ok := e.c.rw.TagPreds[f.Pred]
+	if !ok {
+		return
+	}
+	oldTwin := e.tagTwinFact(twin, old)
+	newTwin := e.tagTwinFact(twin, f)
+	rel := e.db.Rel(twin, len(newTwin.Args))
+	idx, found := rel.FindExact(oldTwin)
+	if !found {
+		e.insertTagTwin(f)
+		return
+	}
+	if rel.Replace(idx, newTwin) == storage.ReplaceDone {
+		e.queue = append(e.queue, rel.At(idx))
+	}
 }
 
 // Run is the convenience one-shot entry point.

@@ -515,3 +515,70 @@ func TestChaseCancellation(t *testing.T) {
 		t.Fatalf("want context.Canceled, got %v", err)
 	}
 }
+
+// TestAggregateSupersession: an improving aggregate replaces its
+// previously admitted fact in place, so at quiescence the relation holds
+// exactly one live fact per group — the limit — and rules downstream of
+// the aggregate observe the improved value (the replacement re-enters the
+// delta queue).
+func TestAggregateSupersession(t *testing.T) {
+	src := `
+		member(G, X), W = mcount(X) -> size(G, W).
+		size(G, W), W >= 3 -> big(G).
+	`
+	edb := []ast.Fact{
+		ast.NewFact("member", term.String("g1"), term.String("a")),
+		ast.NewFact("member", term.String("g1"), term.String("b")),
+		ast.NewFact("member", term.String("g1"), term.String("c")),
+		ast.NewFact("member", term.String("g2"), term.String("z")),
+	}
+	res := run(t, src, edb)
+	// Only the final counts survive: size(g1,3) and size(g2,1) — the
+	// intermediates size(g1,1), size(g1,2) were superseded in place.
+	wantFacts(t, res.Output("size"), "size(g1,3)", "size(g2,1)")
+	if rel := res.DB.Lookup("size"); rel.Live() != 2 {
+		t.Errorf("live size facts: %d, want 2 (one per group)", rel.Live())
+	}
+	// The downstream rule fired off the replaced (final) value.
+	wantFacts(t, res.Output("big"), "big(g1)")
+}
+
+// TestAggregateSupersessionRecursive: the munion fixpoint over a control
+// chain converges to one live fact per (rule, group) even though each
+// parent's set improves several times while children consume it.
+func TestAggregateSupersessionRecursive(t *testing.T) {
+	src := `
+		seed(X, P), J = munion(P) -> acc(X, J).
+		next(Y, X), acc(Y, S), J = munion(S) -> acc(X, J).
+	`
+	edb := []ast.Fact{
+		ast.NewFact("seed", term.String("a"), term.Int(1)),
+		ast.NewFact("seed", term.String("a"), term.Int(2)),
+		ast.NewFact("next", term.String("a"), term.String("b")),
+		ast.NewFact("next", term.String("b"), term.String("c")),
+	}
+	res := run(t, src, edb)
+	wantFacts(t, res.Output("acc"), "acc(a,{1,2})", "acc(b,{1,2})", "acc(c,{1,2})")
+	if rel := res.DB.Lookup("acc"); rel.Live() != 3 {
+		t.Errorf("live acc facts: %d, want 3", rel.Live())
+	}
+}
+
+// TestAggregateBudgetCountsReplacements: supersessions are chase steps and
+// count against the derivation budget, so mutually improving aggregates
+// cannot loop unmetered.
+func TestAggregateBudgetCountsReplacements(t *testing.T) {
+	src := `
+		member(G, X), W = mcount(X) -> size(G, W).
+	`
+	var edb []ast.Fact
+	for i := 0; i < 50; i++ {
+		edb = append(edb, ast.NewFact("member", term.String("g"), term.Int(int64(i))))
+	}
+	prog := parser.MustParse(src)
+	// 50 EDB facts + 1 live size fact fit; the 49 replacements do not.
+	_, err := Run(context.Background(), prog, edb, Options{MaxDerivations: 60})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("expected budget error from metered replacements, got %v", err)
+	}
+}

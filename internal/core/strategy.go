@@ -36,10 +36,27 @@ type FactMeta struct {
 	// this very derivation (i.e. none occurs in the parents). Policies use
 	// it to recognize genuine existential chase steps.
 	FreshNulls bool
+	// Retracted marks a fact superseded by a monotonic-aggregation
+	// improvement whose value already existed as another stored fact: the
+	// row keeps its position in its relation (cursor and row-index
+	// stability) but is no longer part of the database — lookups,
+	// duplicate checks, outputs and the engines skip it.
+	Retracted bool
 	// id distinguishes tree roots inside the strategy's maps; pattern
 	// memoizes the fact's PatternKey (computed lazily for roots).
 	id      int64
 	pattern string
+}
+
+// ReplaceFact substitutes the fact this metadata describes, keeping kind,
+// forest roots, provenance and generating rule: a supersession update of a
+// monotonic-aggregation intermediate by an improved value, not a fresh
+// derivation — the termination strategy is not consulted again and the
+// guide structures keep the original entry. The memoized pattern key is
+// invalidated (recomputed lazily).
+func (m *FactMeta) ReplaceFact(f ast.Fact) {
+	m.Fact = f
+	m.pattern = ""
 }
 
 // patternKey returns the memoized pattern of the fact.
@@ -133,6 +150,18 @@ type Policy interface {
 	// CheckTermination decides whether the chase step adding the fact may
 	// be activated.
 	CheckTermination(m *FactMeta) bool
+}
+
+// SupersessionObserver is implemented by termination policies that
+// memorize generated facts (e.g. the trivial global isomorphism check)
+// and must be told when a monotonic-aggregation intermediate is
+// superseded — replaced in place by an improved value or retracted — so
+// their memory stays consistent with the database: a fact that is no
+// longer stored must not block a later, independent derivation of the
+// same value. The engines call NoteSuperseded with the superseded fact
+// after every successful Replace.
+type SupersessionObserver interface {
+	NoteSuperseded(old ast.Fact)
 }
 
 var _ Policy = (*Strategy)(nil)

@@ -122,6 +122,15 @@ type CAgg struct {
 	ArgDeps      []int
 	ContribSlots []int
 	GroupSlots   []int
+
+	// SkipSafe reports that a non-improving Update can skip emission
+	// entirely: the rule mints no existential nulls and every condition
+	// reading the aggregate result depends only on the result and the
+	// group-by slots, so a non-improving match evaluates exactly like the
+	// improving one that already emitted. When false the engines must run
+	// the full emission path even for non-improving matches (a condition
+	// over another body variable may pass now although it failed then).
+	SkipSafe bool
 }
 
 // Step is one element of the execution schedule produced at compile time:
@@ -274,6 +283,29 @@ func Compile(rule *ast.Rule, info *analysis.RuleInfo) (*CompiledRule, error) {
 			if bound[v] && !seen[v] {
 				seen[v] = true
 				ca.GroupSlots = append(ca.GroupSlots, slot(v))
+			}
+		}
+		ca.SkipSafe = len(rule.Existentials()) == 0
+		if ca.SkipSafe {
+			safe := map[int]bool{ca.ResultSlot: true}
+			for _, s := range ca.GroupSlots {
+				safe[s] = true
+			}
+			for _, cc := range cr.Conds {
+				readsAgg := false
+				for _, d := range cc.Deps {
+					if d == ca.ResultSlot {
+						readsAgg = true
+					}
+				}
+				if !readsAgg {
+					continue // evaluated in-schedule, before aggregation
+				}
+				for _, d := range cc.Deps {
+					if !safe[d] {
+						ca.SkipSafe = false
+					}
+				}
 			}
 		}
 		cr.Agg = ca

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/analysis"
@@ -189,28 +190,130 @@ func TestWardFirstParents(t *testing.T) {
 }
 
 func TestAggStateMSum(t *testing.T) {
-	st := NewAggState("msum")
+	st := NewAggState("msum", nil)
 	g := []term.Value{term.Int(1)}
 	// Same contributor y=2 contributes max(5,3)=5; y=3 adds 7.
-	v, err := st.Update(g, []term.Value{term.Int(2)}, term.Int(5))
-	if err != nil || v != term.Int(5) {
-		t.Fatalf("v=%v err=%v", v, err)
+	v, improved, err := st.Update(g, []term.Value{term.Int(2)}, term.Int(5))
+	if err != nil || v != term.Int(5) || !improved {
+		t.Fatalf("v=%v improved=%v err=%v", v, improved, err)
 	}
-	v, _ = st.Update(g, []term.Value{term.Int(2)}, term.Int(3))
+	v, improved, _ = st.Update(g, []term.Value{term.Int(2)}, term.Int(3))
 	if v != term.Int(5) {
 		t.Errorf("non-improving contribution changed the sum: %v", v)
 	}
-	v, _ = st.Update(g, []term.Value{term.Int(3)}, term.Int(7))
-	if v != term.Int(12) {
-		t.Errorf("sum: %v, want 12", v)
+	if improved {
+		t.Error("non-improving contribution reported improved")
+	}
+	v, improved, _ = st.Update(g, []term.Value{term.Int(3)}, term.Int(7))
+	if v != term.Int(12) || !improved {
+		t.Errorf("sum: %v (improved=%v), want 12", v, improved)
 	}
 	// Improvement for contributor 2: 5 -> 6.
-	v, _ = st.Update(g, []term.Value{term.Int(2)}, term.Int(6))
-	if v != term.Int(13) {
-		t.Errorf("sum after improvement: %v, want 13", v)
+	v, improved, _ = st.Update(g, []term.Value{term.Int(2)}, term.Int(6))
+	if v != term.Int(13) || !improved {
+		t.Errorf("sum after improvement: %v (improved=%v), want 13", v, improved)
 	}
 	if st.Groups() != 1 {
 		t.Errorf("groups: %d", st.Groups())
+	}
+}
+
+func TestAggStateDomainErrors(t *testing.T) {
+	st := NewAggState("msum", nil)
+	if _, _, err := st.Update(nil, nil, term.Int(-1)); err == nil {
+		t.Error("msum over a negative contribution must error (monotonicity)")
+	}
+	pr := NewAggState("mprod", nil)
+	if _, _, err := pr.Update(nil, nil, term.Float(0.5)); err == nil {
+		t.Error("mprod over a contribution < 1 must error (monotonicity)")
+	}
+	if _, _, err := pr.Update(nil, nil, term.Int(0)); err == nil {
+		t.Error("mprod over 0 must error, not poison the product forever")
+	}
+}
+
+func TestAggStateMProdInt(t *testing.T) {
+	st := NewAggState("mprod", nil)
+	st.Update(nil, []term.Value{term.Int(1)}, term.Int(2))
+	v, _, err := st.Update(nil, []term.Value{term.Int(2)}, term.Int(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != term.Int(6) {
+		t.Errorf("mprod over ints must return an int: %v (%s)", v, v.Kind())
+	}
+	// Improvement for contributor 1: 2 -> 4; the old factor divides out
+	// exactly (contributions ≥ 1).
+	v, _, _ = st.Update(nil, []term.Value{term.Int(1)}, term.Int(4))
+	if v != term.Int(12) {
+		t.Errorf("mprod after improvement: %v, want 12", v)
+	}
+	// A float contribution switches to deterministic float recomputation.
+	v, _, _ = st.Update(nil, []term.Value{term.Int(3)}, term.Float(1.5))
+	if v != term.Float(4*3*1.5) {
+		t.Errorf("mixed mprod: %v", v)
+	}
+}
+
+// TestAggStateKeyCollision: group/contributor keys are interned-ID based,
+// so string values whose renderings collide under a separator-joined
+// encoding (the old keyOf) stay distinct groups.
+func TestAggStateKeyCollision(t *testing.T) {
+	st := NewAggState("msum", nil)
+	g1 := []term.Value{term.String("a\x00b"), term.String("c")}
+	g2 := []term.Value{term.String("a"), term.String("b\x00c")}
+	st.Update(g1, nil, term.Int(1))
+	st.Update(g2, nil, term.Int(2))
+	if st.Groups() != 2 {
+		t.Fatalf("colliding renderings merged groups: %d groups", st.Groups())
+	}
+	if v, _ := st.Final(g1); v != term.Int(1) {
+		t.Errorf("g1 final: %v", v)
+	}
+	if v, _ := st.Final(g2); v != term.Int(2) {
+		t.Errorf("g2 final: %v", v)
+	}
+}
+
+// TestAggStateMunionFlattensSets: a set-valued contribution unions its
+// elements, so aggregates consuming an improving set stream converge to
+// the union of the final sets regardless of which intermediates were seen.
+func TestAggStateMunionFlattensSets(t *testing.T) {
+	st := NewAggState("munion", nil)
+	st.Update(nil, nil, term.Set([]term.Value{term.String("a")}))
+	st.Update(nil, nil, term.Set([]term.Value{term.String("a"), term.String("b")}))
+	v, improved, err := st.Update(nil, nil, term.String("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Str() != "{a,b,c}" || !improved {
+		t.Errorf("flattened munion: %v (improved=%v)", v, improved)
+	}
+	// Re-feeding a subset of what is already absorbed does not improve.
+	_, improved, _ = st.Update(nil, nil, term.Set([]term.Value{term.String("b")}))
+	if improved {
+		t.Error("subset contribution reported improved")
+	}
+}
+
+// TestAggStateFloatDeterminism: float sums are recomputed over the
+// retained contributions in sorted order, so any arrival order yields the
+// bit-identical value.
+func TestAggStateFloatDeterminism(t *testing.T) {
+	vals := []float64{0.1, 0.7, 1e-9, 3.3, 0.2, 1e9, 0.9}
+	perms := [][]int{{0, 1, 2, 3, 4, 5, 6}, {6, 5, 4, 3, 2, 1, 0}, {3, 0, 6, 2, 5, 1, 4}}
+	var want term.Value
+	for pi, perm := range perms {
+		st := NewAggState("msum", nil)
+		var last term.Value
+		for _, i := range perm {
+			last, _, _ = st.Update(nil, []term.Value{term.Int(int64(i))}, term.Float(vals[i]))
+		}
+		if pi == 0 {
+			want = last
+		} else if last != want {
+			t.Errorf("perm %d: %v != %v (order-dependent float rounding)", pi, last, want)
+		}
 	}
 }
 
@@ -225,11 +328,11 @@ func TestAggStateOrderIndependence(t *testing.T) {
 	}
 	var want term.Value
 	for pi, perm := range perms {
-		st := NewAggState("msum")
+		st := NewAggState("msum", nil)
 		var last term.Value
 		for _, i := range perm {
 			u := updates[i]
-			v, err := st.Update(nil, []term.Value{term.Int(u.c)}, term.Int(u.x))
+			v, _, err := st.Update(nil, []term.Value{term.Int(u.c)}, term.Int(u.x))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -251,28 +354,28 @@ func TestAggStateOrderIndependence(t *testing.T) {
 }
 
 func TestAggStateMinMaxCountUnion(t *testing.T) {
-	min := NewAggState("mmin")
+	min := NewAggState("mmin", nil)
 	min.Update(nil, nil, term.Int(5))
-	v, _ := min.Update(nil, nil, term.Int(2))
+	v, _, _ := min.Update(nil, nil, term.Int(2))
 	if v != term.Int(2) {
 		t.Errorf("mmin: %v", v)
 	}
-	max := NewAggState("mmax")
+	max := NewAggState("mmax", nil)
 	max.Update(nil, nil, term.Int(5))
-	v, _ = max.Update(nil, nil, term.Int(2))
+	v, _, _ = max.Update(nil, nil, term.Int(2))
 	if v != term.Int(5) {
 		t.Errorf("mmax: %v", v)
 	}
-	cnt := NewAggState("mcount")
+	cnt := NewAggState("mcount", nil)
 	cnt.Update(nil, nil, term.String("a"))
 	cnt.Update(nil, nil, term.String("a"))
-	v, _ = cnt.Update(nil, nil, term.String("b"))
+	v, _, _ = cnt.Update(nil, nil, term.String("b"))
 	if v != term.Int(2) {
 		t.Errorf("mcount distinct: %v", v)
 	}
-	un := NewAggState("munion")
+	un := NewAggState("munion", nil)
 	un.Update(nil, nil, term.String("b"))
-	v, _ = un.Update(nil, nil, term.String("a"))
+	v, _, _ = un.Update(nil, nil, term.String("a"))
 	if v.Str() != "{a,b}" {
 		t.Errorf("munion canonical: %v", v)
 	}
@@ -316,5 +419,25 @@ func TestNegationLookup(t *testing.T) {
 	}
 	if got := collectMatches(t, cr, db, 0, rel.At(1)); len(got) != 0 {
 		t.Error("p(2) has q(2,9): must not match")
+	}
+}
+
+// TestAggStateMProdOverflowDegrades: the exact-int product must not wrap
+// around int64; it degrades to the deterministic float fold instead.
+func TestAggStateMProdOverflowDegrades(t *testing.T) {
+	st := NewAggState("mprod", nil)
+	var v term.Value
+	for i := 0; i < 70; i++ {
+		var err error
+		v, _, err = st.Update(nil, []term.Value{term.Int(int64(i))}, term.Int(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Kind() == term.KindInt && v.IntVal() <= 0 {
+			t.Fatalf("int mprod wrapped around after %d contributions: %v", i+1, v)
+		}
+	}
+	if v.Kind() != term.KindFloat || v.FloatVal() != math.Pow(2, 70) {
+		t.Errorf("overflowed mprod: %v, want 2^70 as float", v)
 	}
 }

@@ -139,7 +139,7 @@ func (c *Compiled) NewSession() *Session {
 			postAgg: c.postAgg[i],
 		}
 		if cr.Rule.Aggregate != nil {
-			f.agg = eval.NewAggState(cr.Rule.Aggregate.Func)
+			f.agg = eval.NewAggState(cr.Rule.Aggregate.Func, s.db.Interner())
 		}
 		s.filters = append(s.filters, f)
 	}

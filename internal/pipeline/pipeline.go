@@ -150,16 +150,8 @@ func (s *Session) insertTagTwin(f ast.Fact) {
 	if !ok {
 		return
 	}
-	args := make([]term.Value, len(f.Args))
-	for i, v := range f.Args {
-		if v.IsNull() {
-			args[i] = term.String("\x00" + s.db.Nulls.KeyOf(v))
-		} else {
-			args[i] = v
-		}
-	}
-	tf := ast.Fact{Pred: twin, Args: args}
-	rel := s.db.Rel(twin, len(args))
+	tf := s.tagTwinFact(twin, f)
+	rel := s.db.Rel(twin, len(tf.Args))
 	if rel.Contains(tf) {
 		return
 	}
@@ -169,18 +161,39 @@ func (s *Session) insertTagTwin(f ast.Fact) {
 	}
 }
 
+// tagTwinFact renders the tag-twin image of f: labelled nulls replaced by
+// their canonical ground keys.
+func (s *Session) tagTwinFact(twin string, f ast.Fact) ast.Fact {
+	args := make([]term.Value, len(f.Args))
+	for i, v := range f.Args {
+		if v.IsNull() {
+			args[i] = term.String("\x00" + s.db.Nulls.KeyOf(v))
+		} else {
+			args[i] = v
+		}
+	}
+	return ast.Fact{Pred: twin, Args: args}
+}
+
 // Next ensures at least n+1 facts of pred exist, pulling through the
 // pipeline on demand (the volcano next() of the paper). It returns false
 // on a real miss: no further facts of pred can be derived. Cancelling ctx
 // aborts the pull between rule firings; the session stays consistent and
 // can be driven again with a live context.
+//
+// Facts are addressed by live-row position: retracted rows (superseded
+// aggregate intermediates whose value already existed elsewhere) are
+// skipped, and for an aggregate predicate a row's fact is the group's best
+// value at pull time — it may later be superseded in place by an improved
+// one (monotonic-aggregation intermediates are transient; only the limit
+// survives quiescence).
 func (s *Session) Next(ctx context.Context, pred string, n int) (ast.Fact, bool, error) {
 	s.ctx, s.ctxDone = ctx, false
 	h := s.hubs[pred]
 	if h == nil {
 		return ast.Fact{}, false, nil
 	}
-	for h.rel.Len() <= n {
+	for h.rel.Live() <= n {
 		if err := ctx.Err(); err != nil {
 			return ast.Fact{}, false, err
 		}
@@ -200,13 +213,13 @@ func (s *Session) Next(ctx context.Context, pred string, n int) (ast.Fact, bool,
 					return ast.Fact{}, false, err
 				}
 				s.quiesced = s.allQuiesced()
-				if h.rel.Len() <= n {
+				if h.rel.Live() <= n {
 					return ast.Fact{}, false, s.failure
 				}
 			}
 		}
 	}
-	return h.rel.At(n).Fact, true, s.failure
+	return h.rel.LiveAt(n).Fact, true, s.failure
 }
 
 // pull polls h's producers round-robin; it reports whether some producer
@@ -247,12 +260,15 @@ func (s *Session) step(f *ruleFilter) stepResult {
 		for k := 0; k < len(f.cr.Pos); k++ {
 			i := (f.rr + k) % len(f.cr.Pos)
 			rel := s.db.Rel(f.cr.Pos[i].Pred, f.cr.Pos[i].Arity())
-			for f.cursors[i] < rel.Len() {
+			for f.cursors[i] < rel.DeltaLen() {
 				if s.cancelled() {
 					return stepDry
 				}
-				m := rel.At(f.cursors[i])
+				m := rel.DeltaAt(f.cursors[i])
 				f.cursors[i]++
+				if m.Retracted {
+					continue // superseded aggregate intermediate
+				}
 				got, err := s.fire(f, i, m)
 				if err != nil {
 					s.failure = err
@@ -343,12 +359,15 @@ func (s *Session) sweep() bool {
 		}
 		for i := range f.cr.Pos {
 			rel := s.db.Rel(f.cr.Pos[i].Pred, f.cr.Pos[i].Arity())
-			for f.cursors[i] < rel.Len() {
+			for f.cursors[i] < rel.DeltaLen() {
 				if s.cancelled() {
 					return false
 				}
-				m := rel.At(f.cursors[i])
+				m := rel.DeltaAt(f.cursors[i])
 				f.cursors[i]++
+				if m.Retracted {
+					continue
+				}
 				got, err := s.fire(f, i, m)
 				if err != nil {
 					s.failure = err
@@ -367,7 +386,7 @@ func (s *Session) allQuiesced() bool {
 	for _, f := range s.filters {
 		for i := range f.cr.Pos {
 			rel := s.db.Lookup(f.cr.Pos[i].Pred)
-			if rel != nil && f.cursors[i] < rel.Len() {
+			if rel != nil && f.cursors[i] < rel.DeltaLen() {
 				return false
 			}
 		}
@@ -426,9 +445,18 @@ func (s *Session) emit(f *ruleFilter, b *eval.Binding) (int, error) {
 				return 0, err
 			}
 		}
-		agg, err := f.agg.Update(group, contrib, x)
+		agg, improved, err := f.agg.Update(group, contrib, x)
 		if err != nil {
 			return 0, err
+		}
+		if !improved && cr.Agg.SkipSafe {
+			// The group's aggregate did not change and the post-aggregate
+			// conditions depend only on (result, group): this match
+			// evaluates exactly like the one that already emitted, so
+			// there is nothing new to emit. Unsafe rules (conditions over
+			// other body variables, existential heads) fall through to the
+			// full path; supersession makes re-emission idempotent.
+			return 0, nil
 		}
 		b.Set(cr.Agg.ResultSlot, agg)
 		for i := range f.postAgg {
@@ -461,12 +489,24 @@ func (s *Session) emit(f *ruleFilter, b *eval.Binding) (int, error) {
 	}
 	parents := eval.WardFirstParents(cr, b)
 	admitted := 0
-	for _, hf := range heads {
-		ok, err := s.admit(hf, rule.ID, parents)
+	for hi, hf := range heads {
+		// Existential aggregate heads mint per-binding nulls: each binding
+		// is its own fact, not an improvement of the previous one, so they
+		// take the plain admission path (no supersession).
+		if cr.Agg != nil && len(cr.Exists) == 0 {
+			n, err := s.admitAggregate(f, hi, hf, rule.ID, parents)
+			admitted += n
+			f.produced += n
+			if err != nil {
+				return admitted, err
+			}
+			continue
+		}
+		m, err := s.admit(hf, rule.ID, parents)
 		if err != nil {
 			return admitted, err
 		}
-		if ok {
+		if m != nil {
 			admitted++
 			f.produced++
 		}
@@ -474,23 +514,94 @@ func (s *Session) emit(f *ruleFilter, b *eval.Binding) (int, error) {
 	return admitted, nil
 }
 
-func (s *Session) admit(hf ast.Fact, ruleID int, parents []*core.FactMeta) (bool, error) {
+// admitAggregate admits an aggregate-head fact with supersession, the
+// pipeline counterpart of the chase engine's: an improving group replaces
+// the fact the filter previously admitted for it in place. The relation's
+// delta log re-delivers the replaced row, so downstream filters observe
+// the improved value as a fresh delta while their cursors stay put.
+// Replacements count as produced facts (step progress) and against the
+// derivation budget.
+func (s *Session) admitAggregate(f *ruleFilter, hi int, hf ast.Fact, ruleID int, parents []*core.FactMeta) (int, error) {
+	prev, ok := f.agg.LastEmitted(hi)
+	if !ok {
+		m, err := s.admit(hf, ruleID, parents)
+		if err != nil {
+			return 0, err
+		}
+		if m == nil {
+			return 0, nil
+		}
+		rel := s.db.Rel(hf.Pred, len(hf.Args))
+		f.agg.RecordEmitted(hi, m, rel.Len()-1)
+		return 1, nil
+	}
+	old := prev.Meta.Fact
+	rel := s.db.Rel(hf.Pred, len(hf.Args))
+	switch rel.Replace(prev.Row, hf) {
+	case storage.ReplaceUnchanged:
+		return 0, nil // e.g. the aggregate result does not occur in the head
+	case storage.ReplaceRetracted:
+		// The improved value already exists as an independently stored
+		// fact; the superseded intermediate was retracted. The next
+		// improvement starts fresh.
+		f.agg.RecordEmitted(hi, nil, 0)
+		s.noteSuperseded(old)
+		return 0, nil
+	default: // ReplaceDone
+		if s.derivations >= s.budget {
+			return 0, fmt.Errorf("%w (%d facts)", ErrBudget, s.derivations)
+		}
+		s.derivations++
+		s.bm.Touch(hf.Pred)
+		s.noteSuperseded(old)
+		s.replaceTagTwin(old, hf)
+		return 1, nil
+	}
+}
+
+// noteSuperseded tells fact-memorizing termination policies that old is no
+// longer stored.
+func (s *Session) noteSuperseded(old ast.Fact) {
+	if obs, ok := s.strat.(core.SupersessionObserver); ok {
+		obs.NoteSuperseded(old)
+	}
+}
+
+func (s *Session) admit(hf ast.Fact, ruleID int, parents []*core.FactMeta) (*core.FactMeta, error) {
 	rel := s.db.Rel(hf.Pred, len(hf.Args))
 	if rel.Contains(hf) {
-		return false, nil
+		return nil, nil
 	}
 	m := s.strat.Derive(hf, ruleID, parents)
 	if !s.strat.CheckTermination(m) {
-		return false, nil
+		return nil, nil
 	}
 	if s.derivations >= s.budget {
-		return false, fmt.Errorf("%w (%d facts)", ErrBudget, s.derivations)
+		return nil, fmt.Errorf("%w (%d facts)", ErrBudget, s.derivations)
 	}
 	rel.Insert(m)
 	s.derivations++
 	s.bm.Touch(hf.Pred)
 	s.insertTagTwin(hf)
-	return true, nil
+	return m, nil
+}
+
+// replaceTagTwin mirrors an aggregate supersession into the tag twin of a
+// tagged predicate.
+func (s *Session) replaceTagTwin(old, hf ast.Fact) {
+	twin, ok := s.c.rw.TagPreds[hf.Pred]
+	if !ok {
+		return
+	}
+	oldTwin := s.tagTwinFact(twin, old)
+	newTwin := s.tagTwinFact(twin, hf)
+	rel := s.db.Rel(twin, len(newTwin.Args))
+	idx, found := rel.FindExact(oldTwin)
+	if !found {
+		s.insertTagTwin(hf)
+		return
+	}
+	rel.Replace(idx, newTwin)
 }
 
 // Drain materializes the complete reasoning result (all output predicates

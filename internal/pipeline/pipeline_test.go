@@ -395,3 +395,48 @@ func TestPipelineCancellation(t *testing.T) {
 		t.Errorf("resumed run: %d triples, want 125", got)
 	}
 }
+
+// TestPipelineAggregateSupersession: the pipeline counterpart of the chase
+// supersession test — the relation's delta log re-delivers replaced rows,
+// so downstream filters observe the improved aggregate even though their
+// cursors had already consumed the superseded intermediate.
+func TestPipelineAggregateSupersession(t *testing.T) {
+	src := `
+		member(G, X), W = mcount(X) -> size(G, W).
+		size(G, W), W >= 3 -> big(G).
+		@output("size").
+		@output("big").
+	`
+	edb := []ast.Fact{
+		ast.NewFact("member", term.String("g1"), term.String("a")),
+		ast.NewFact("member", term.String("g1"), term.String("b")),
+		ast.NewFact("member", term.String("g1"), term.String("c")),
+		ast.NewFact("member", term.String("g2"), term.String("z")),
+	}
+	s := runPipeline(t, src, edb)
+	size := s.Output("size")
+	if len(size) != 2 {
+		t.Fatalf("live size facts: %v, want one per group", factList(size))
+	}
+	var got []string
+	for _, f := range size {
+		got = append(got, f.String())
+	}
+	if strings.Join(got, ";") != "size(g1,3);size(g2,1)" {
+		t.Errorf("final sizes: %v", got)
+	}
+	if big := s.Output("big"); len(big) != 1 || big[0].String() != "big(g1)" {
+		t.Errorf("downstream rule missed the improved aggregate: %v", factList(big))
+	}
+	if rel := s.DB().Lookup("size"); rel.Live() != 2 {
+		t.Errorf("live rows: %d, want 2", rel.Live())
+	}
+}
+
+func factList(fs []ast.Fact) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.String()
+	}
+	return out
+}

@@ -116,11 +116,21 @@ func (db *Database) InActiveDomainID(id uint32) bool {
 // ActiveDomainSize returns |ACDom|.
 func (db *Database) ActiveDomainSize() int { return len(db.activeDom) }
 
-// TotalFacts counts all stored facts.
+// TotalFacts counts all stored rows, retracted rows included.
 func (db *Database) TotalFacts() int {
 	n := 0
 	for _, r := range db.rels {
 		n += r.Len()
+	}
+	return n
+}
+
+// LiveFacts counts the facts actually in the database (retracted
+// monotonic-aggregation intermediates excluded).
+func (db *Database) LiveFacts() int {
+	n := 0
+	for _, r := range db.rels {
+		n += r.Live()
 	}
 	return n
 }

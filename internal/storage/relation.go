@@ -84,10 +84,22 @@ type Relation struct {
 	indexes map[uint32]*dynIndex
 	noIndex bool
 
+	// log is the delta stream consumed by cursor-based engines: nil means
+	// "identical to row order". It is materialized by the first Replace,
+	// which re-appends the replaced row's index so the superseding fact is
+	// delivered as a fresh delta without disturbing existing cursors.
+	log []int32
+
+	// retracted counts rows whose metadata is marked Retracted: physically
+	// present (row indexes stay stable) but no longer part of the
+	// database — excluded from lookups, duplicate checks and Facts.
+	retracted int
+
 	bytes int64 // rough retained-size accounting for the buffer manager
 
 	scratch  []uint32 // reusable row buffer for Insert/Contains
 	probeBuf []uint32 // reusable probe-ID buffer for value-based Lookup
+	replBuf  []uint32 // reusable old-row copy for Replace
 }
 
 type dynIndex struct {
@@ -123,11 +135,59 @@ func (r *Relation) Name() string { return r.name }
 // Arity returns the declared arity.
 func (r *Relation) Arity() int { return r.arity }
 
-// Len returns the number of stored facts.
+// Len returns the number of stored rows, retracted rows included (rows
+// keep their index for the lifetime of the relation; see Live for the
+// number of facts actually in the database).
 func (r *Relation) Len() int { return len(r.metas) }
+
+// Live returns the number of non-retracted facts.
+func (r *Relation) Live() int { return len(r.metas) - r.retracted }
 
 // At returns the i-th stored fact.
 func (r *Relation) At(i int) *core.FactMeta { return r.metas[i] }
+
+// LiveAt returns the n-th live (non-retracted) fact, nil when fewer than
+// n+1 live facts exist. With no retractions (the overwhelmingly common
+// case) it is a direct index; otherwise it scans, which only the rare
+// retraction path pays.
+func (r *Relation) LiveAt(n int) *core.FactMeta {
+	if r.retracted == 0 {
+		if n < len(r.metas) {
+			return r.metas[n]
+		}
+		return nil
+	}
+	for i := range r.metas {
+		if r.metas[i].Retracted {
+			continue
+		}
+		if n == 0 {
+			return r.metas[i]
+		}
+		n--
+	}
+	return nil
+}
+
+// DeltaLen returns the length of the relation's delta stream: every
+// insertion contributes one event, and every in-place Replace re-appends
+// the replaced row so cursor-based consumers observe the superseding fact
+// as a fresh delta.
+func (r *Relation) DeltaLen() int {
+	if r.log == nil {
+		return len(r.metas)
+	}
+	return len(r.log)
+}
+
+// DeltaAt returns the fact of the i-th delta event. Consumers must skip
+// events whose metadata is marked Retracted.
+func (r *Relation) DeltaAt(i int) *core.FactMeta {
+	if r.log == nil {
+		return r.metas[i]
+	}
+	return r.metas[r.log[i]]
+}
 
 // Row returns the interned tuple of the i-th stored fact. The slice
 // aliases the relation's storage; callers must not modify or retain it
@@ -188,10 +248,144 @@ func (r *Relation) Insert(m *core.FactMeta) bool {
 		}
 	}
 	r.exact[h] = append(r.exact[h], int32(len(r.metas)))
+	if r.log != nil {
+		r.log = append(r.log, int32(len(r.metas)))
+	}
 	r.metas = append(r.metas, m)
 	r.rows = append(r.rows, row...)
 	r.bytes += int64(4*r.arity) + 48
 	return true
+}
+
+// ReplaceOutcome reports what Replace did with a superseded row.
+type ReplaceOutcome int
+
+// Replace outcomes.
+const (
+	// ReplaceUnchanged: the new fact equals the stored one (or the row is
+	// already retracted); nothing changed.
+	ReplaceUnchanged ReplaceOutcome = iota
+	// ReplaceDone: the row was overwritten in place and re-appended to the
+	// delta stream.
+	ReplaceDone
+	// ReplaceRetracted: the new fact is already stored in another row, so
+	// the superseded row was retracted instead of duplicated.
+	ReplaceRetracted
+)
+
+// Replace supersedes the fact stored at row i with f — the retraction
+// primitive behind deterministic monotonic aggregation: an improving
+// aggregate overwrites the intermediate it replaces instead of
+// accumulating next to it. The row keeps its index (engine cursors, the
+// delta log and recorded Emitted rows stay valid), the duplicate-check
+// entry is rehashed, every dynamic index covering the row is updated in
+// place, and the row's FactMeta is updated via core.ReplaceFact (same
+// roots and provenance — a supersession, not a new derivation). When f is
+// already stored elsewhere in the relation, the superseded row is
+// retracted instead, so the relation never holds duplicate facts.
+func (r *Relation) Replace(i int, f ast.Fact) ReplaceOutcome {
+	if i < 0 || i >= len(r.metas) || r.metas[i].Retracted {
+		return ReplaceUnchanged
+	}
+	if len(f.Args) > r.arity {
+		r.restride(len(f.Args))
+	}
+	newRow := r.internRow(f.Args)
+	if r.rowEqual(i, newRow) {
+		return ReplaceUnchanged
+	}
+	newH := hashRow(newRow)
+	for _, rj := range r.exact[newH] {
+		if int(rj) != i && r.rowEqual(int(rj), newRow) {
+			r.retract(i)
+			return ReplaceRetracted
+		}
+	}
+	old := append(r.replBuf[:0], r.Row(i)...)
+	r.replBuf = old
+	removeRow(r.exact, hashRow(old), i)
+	copy(r.rows[i*r.arity:(i+1)*r.arity], newRow)
+	r.exact[newH] = append(r.exact[newH], int32(i))
+	for _, ix := range r.indexes {
+		if i >= ix.upTo || maskedIDsEqual(old, newRow, ix.mask) {
+			continue
+		}
+		removeRow(ix.entries, hashMasked(old, ix.mask), i)
+		nh := hashMasked(newRow, ix.mask)
+		ix.entries[nh] = append(ix.entries[nh], int32(i))
+	}
+	r.metas[i].ReplaceFact(f)
+	if r.log == nil {
+		r.log = make([]int32, len(r.metas), len(r.metas)+8)
+		for k := range r.log {
+			r.log[k] = int32(k)
+		}
+	}
+	r.log = append(r.log, int32(i))
+	return ReplaceDone
+}
+
+// retract removes row i from the duplicate-check table and every dynamic
+// index and marks its metadata Retracted. The row keeps its position so
+// indexes into the relation stay stable; it is simply no longer a fact.
+func (r *Relation) retract(i int) {
+	row := r.Row(i)
+	removeRow(r.exact, hashRow(row), i)
+	for _, ix := range r.indexes {
+		if i < ix.upTo {
+			removeRow(ix.entries, hashMasked(row, ix.mask), i)
+		}
+	}
+	r.metas[i].Retracted = true
+	r.retracted++
+}
+
+// removeRow deletes row index i from the hash bucket at h.
+func removeRow(m map[uint64][]int32, h uint64, i int) {
+	bucket := m[h]
+	for k, ri := range bucket {
+		if ri == int32(i) {
+			m[h] = append(bucket[:k], bucket[k+1:]...)
+			return
+		}
+	}
+}
+
+// maskedIDsEqual reports whether a and b agree on every masked position.
+func maskedIDsEqual(a, b []uint32, mask uint32) bool {
+	for i := range a {
+		if mask&(1<<uint(i)) != 0 && a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FindExact returns the row index of the stored fact exactly equal to f.
+// Like Contains it never interns.
+func (r *Relation) FindExact(f ast.Fact) (int, bool) {
+	if len(f.Args) > r.arity {
+		return 0, false
+	}
+	row := r.scratch[:0]
+	for _, v := range f.Args {
+		id, ok := r.in.IDOf(v)
+		if !ok {
+			return 0, false
+		}
+		row = append(row, id)
+	}
+	for len(row) < r.arity {
+		row = append(row, 0)
+	}
+	r.scratch = row
+	h := hashRow(row)
+	for _, ri := range r.exact[h] {
+		if r.rowEqual(int(ri), row) {
+			return int(ri), true
+		}
+	}
+	return 0, false
 }
 
 // Contains reports whether an exactly equal fact is stored. It never
@@ -236,12 +430,16 @@ func (r *Relation) restride(arity int) {
 		for len(r.rows)-start < arity {
 			r.rows = append(r.rows, 0)
 		}
+		if r.metas[i].Retracted {
+			continue // retracted rows keep their position but no key
+		}
 		h := hashRow(r.rows[start:])
 		r.exact[h] = append(r.exact[h], int32(i))
 	}
 	r.indexes = make(map[uint32]*dynIndex)
 	r.scratch = nil
 	r.probeBuf = nil
+	r.replBuf = nil
 }
 
 // NoIndex disables dynamic indexing for this relation: every Lookup scans
@@ -268,16 +466,18 @@ func (r *Relation) maskedEqual(ri int, mask uint32, probe []uint32) bool {
 // comparison, so hash collisions never leak into the result.
 func (r *Relation) LookupIDs(mask uint32, probe []uint32) []int32 {
 	if mask == 0 {
-		out := make([]int32, len(r.metas))
+		out := make([]int32, 0, len(r.metas)-r.retracted)
 		for i := range r.metas {
-			out[i] = int32(i)
+			if !r.metas[i].Retracted {
+				out = append(out, int32(i))
+			}
 		}
 		return out
 	}
 	if r.noIndex {
 		var out []int32
 		for i := range r.metas {
-			if r.maskedEqual(i, mask, probe) {
+			if !r.metas[i].Retracted && r.maskedEqual(i, mask, probe) {
 				out = append(out, int32(i))
 			}
 		}
@@ -288,8 +488,12 @@ func (r *Relation) LookupIDs(mask uint32, probe []uint32) []int32 {
 		ix = &dynIndex{mask: mask, entries: make(map[uint64][]int32)}
 		r.indexes[mask] = ix
 	}
-	// Extend the index over facts appended since the last probe.
+	// Extend the index over facts appended since the last probe; retracted
+	// rows (removed from every index at retraction) never enter.
 	for ; ix.upTo < len(r.metas); ix.upTo++ {
+		if r.metas[ix.upTo].Retracted {
+			continue
+		}
 		h := hashMasked(r.rows[ix.upTo*r.arity:(ix.upTo+1)*r.arity], mask)
 		ix.entries[h] = append(ix.entries[h], int32(ix.upTo))
 		ix.bytes += 20
@@ -362,11 +566,14 @@ func (r *Relation) DropIndexes() {
 // IndexCount returns how many dynamic indexes currently exist.
 func (r *Relation) IndexCount() int { return len(r.indexes) }
 
-// Facts returns a snapshot slice of the stored facts (no metadata).
+// Facts returns a snapshot slice of the stored facts (no metadata),
+// retracted rows excluded.
 func (r *Relation) Facts() []ast.Fact {
-	out := make([]ast.Fact, len(r.metas))
-	for i, m := range r.metas {
-		out[i] = m.Fact
+	out := make([]ast.Fact, 0, len(r.metas)-r.retracted)
+	for _, m := range r.metas {
+		if !m.Retracted {
+			out = append(out, m.Fact)
+		}
 	}
 	return out
 }

@@ -205,3 +205,101 @@ func TestDatabaseTotals(t *testing.T) {
 		t.Error("missing relation must be nil")
 	}
 }
+
+func TestRelationReplaceInPlace(t *testing.T) {
+	r := NewRelation("agg", 2)
+	r.Insert(meta("agg", term.String("g"), term.Int(1)))
+	r.Insert(meta("agg", term.String("h"), term.Int(5)))
+	// Build an index over position 0 so Replace must maintain it.
+	if got := len(r.Lookup(1, []term.Value{term.String("g"), {}})); got != 1 {
+		t.Fatalf("pre-replace lookup: %d", got)
+	}
+	if out := r.Replace(0, ast.NewFact("agg", term.String("g"), term.Int(3))); out != ReplaceDone {
+		t.Fatalf("replace outcome: %v", out)
+	}
+	// The row keeps its index, the old tuple is gone, the new one found.
+	if r.Len() != 2 || r.Live() != 2 {
+		t.Fatalf("len/live: %d/%d", r.Len(), r.Live())
+	}
+	if r.At(0).Fact.Args[1] != term.Int(3) {
+		t.Errorf("row 0 fact not updated: %v", r.At(0).Fact)
+	}
+	if r.Contains(ast.NewFact("agg", term.String("g"), term.Int(1))) {
+		t.Error("superseded tuple still passes the duplicate check")
+	}
+	if !r.Contains(ast.NewFact("agg", term.String("g"), term.Int(3))) {
+		t.Error("superseding tuple missing from the duplicate check")
+	}
+	if got := len(r.Lookup(2, []term.Value{{}, term.Int(3)})); got != 1 {
+		t.Errorf("index over replaced position finds %d rows, want 1", got)
+	}
+	if got := len(r.Lookup(2, []term.Value{{}, term.Int(1)})); got != 0 {
+		t.Errorf("index still finds the superseded value: %d rows", got)
+	}
+	// Replacing with the identical tuple is a no-op.
+	if out := r.Replace(0, ast.NewFact("agg", term.String("g"), term.Int(3))); out != ReplaceUnchanged {
+		t.Errorf("identical replace: %v", out)
+	}
+}
+
+func TestRelationReplaceDeltaLog(t *testing.T) {
+	r := NewRelation("agg", 2)
+	r.Insert(meta("agg", term.String("g"), term.Int(1)))
+	if r.DeltaLen() != 1 {
+		t.Fatalf("delta len: %d", r.DeltaLen())
+	}
+	r.Replace(0, ast.NewFact("agg", term.String("g"), term.Int(2)))
+	// The replaced row is re-delivered: cursors past the original insert
+	// observe the superseding fact as a fresh delta.
+	if r.DeltaLen() != 2 {
+		t.Fatalf("delta len after replace: %d", r.DeltaLen())
+	}
+	if r.DeltaAt(1) != r.At(0) {
+		t.Error("replacement delta must alias the replaced row")
+	}
+	r.Insert(meta("agg", term.String("h"), term.Int(9)))
+	if r.DeltaLen() != 3 || r.DeltaAt(2) != r.At(1) {
+		t.Error("inserts after a replace must append to the delta log")
+	}
+}
+
+func TestRelationReplaceRetractsOnDuplicate(t *testing.T) {
+	r := NewRelation("agg", 2)
+	r.Insert(meta("agg", term.String("g"), term.Int(1)))
+	r.Insert(meta("agg", term.String("g"), term.Int(2)))
+	r.Lookup(1, []term.Value{term.String("g"), {}})
+	// Row 0's improvement collides with row 1: row 0 is retracted, not
+	// duplicated.
+	if out := r.Replace(0, ast.NewFact("agg", term.String("g"), term.Int(2))); out != ReplaceRetracted {
+		t.Fatalf("outcome: %v", out)
+	}
+	if !r.At(0).Retracted {
+		t.Error("superseded row not marked retracted")
+	}
+	if r.Len() != 2 || r.Live() != 1 {
+		t.Errorf("len/live: %d/%d", r.Len(), r.Live())
+	}
+	if got := len(r.Facts()); got != 1 {
+		t.Errorf("Facts includes retracted rows: %d", got)
+	}
+	if r.Contains(ast.NewFact("agg", term.String("g"), term.Int(1))) {
+		t.Error("retracted tuple still passes the duplicate check")
+	}
+	if got := len(r.Lookup(1, []term.Value{term.String("g"), {}})); got != 1 {
+		t.Errorf("lookup returns retracted rows: %d", got)
+	}
+	if got := len(r.LookupIDs(0, nil)); got != 1 {
+		t.Errorf("full scan returns retracted rows: %d", got)
+	}
+	// A fresh index built after the retraction must skip the dead row.
+	r.DropIndexes()
+	if got := len(r.Lookup(2, []term.Value{{}, term.Int(1)})); got != 0 {
+		t.Errorf("rebuilt index resurrected a retracted row: %d", got)
+	}
+	if _, found := r.FindExact(ast.NewFact("agg", term.String("g"), term.Int(1))); found {
+		t.Error("FindExact located a retracted row")
+	}
+	if idx, found := r.FindExact(ast.NewFact("agg", term.String("g"), term.Int(2))); !found || idx != 1 {
+		t.Errorf("FindExact: idx=%d found=%v", idx, found)
+	}
+}

@@ -28,6 +28,7 @@ const (
 	KindBool
 	KindDate // days since epoch, kept as an integer
 	KindNull // labelled null ν_i
+	KindSet  // composite set (monotonic union), canonical "{a,b,c}" form
 )
 
 // String returns the lowercase name of the kind as used in error messages.
@@ -45,6 +46,8 @@ func (k Kind) String() string {
 		return "date"
 	case KindNull:
 		return "null"
+	case KindSet:
+		return "set"
 	default:
 		return "invalid"
 	}
@@ -82,6 +85,115 @@ func Date(days int64) Value { return Value{kind: KindDate, i: days} }
 
 // Null constructs the labelled null with the given id.
 func Null(id int64) Value { return Value{kind: KindNull, i: id} }
+
+// Set constructs a set constant, the composite type produced by monotonic
+// union (munion, paper Sec. 5): elements are deduplicated, sorted in the
+// total order of Compare (ties between numerically equal Int/Float
+// elements broken by kind, so the canonical form is unique) and rendered
+// as "{e1,e2,...}", so two sets are == iff they contain the same elements
+// and sets remain usable as comparable map keys. Elements render with
+// Value.String except integral floats, which keep a ".0" suffix so
+// Int(1) and Float(1.0) — distinct values since the interned-ID cleanup —
+// stay distinguishable; SetElems is the inverse.
+func Set(elems []Value) Value {
+	dedup := make(map[Value]bool, len(elems))
+	uniq := make([]Value, 0, len(elems))
+	for _, v := range elems {
+		if !dedup[v] {
+			dedup[v] = true
+			uniq = append(uniq, v)
+		}
+	}
+	sort.Slice(uniq, func(i, j int) bool {
+		if c := Compare(uniq[i], uniq[j]); c != 0 {
+			return c < 0
+		}
+		return uniq[i].kind < uniq[j].kind
+	})
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, v := range uniq {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(setElemString(v))
+	}
+	sb.WriteByte('}')
+	return Value{kind: KindSet, s: sb.String()}
+}
+
+// setElemString renders a set element: like Value.String, but integral
+// floats keep an explicit ".0" so they cannot collide with the rendering
+// of the equal Int (strings that look numeric are already quoted by
+// needsQuoting, so no other kinds can collide).
+func setElemString(v Value) string {
+	s := v.String()
+	if v.kind == KindFloat && !math.IsNaN(v.f) && !math.IsInf(v.f, 0) &&
+		!strings.ContainsAny(s, ".eE") {
+		return s + ".0"
+	}
+	return s
+}
+
+// SetElems decodes the elements of a set constant, the inverse of Set: it
+// splits the canonical "{...}" form at top-level commas (respecting quoted
+// strings and nested braces) and parses each element back into a Value.
+// Quoted elements decode to strings, "_:nK" to labelled nulls, "{...}" to
+// nested sets, and the rest through ParseLiteral — so, like every rendered
+// key in this repository, a bare string that happens to look like a date
+// ("d123") or a float whose rendering drops the decimal point ("1")
+// decodes to the literal ParseLiteral chooses. It returns nil on non-set
+// values.
+func (v Value) SetElems() []Value {
+	if v.kind != KindSet || len(v.s) < 2 {
+		return nil
+	}
+	body := v.s[1 : len(v.s)-1]
+	if body == "" {
+		return nil
+	}
+	var elems []Value
+	depth, start := 0, 0
+	inQuote := false
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		switch {
+		case inQuote:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inQuote = false
+			}
+		case c == '"':
+			inQuote = true
+		case c == '{':
+			depth++
+		case c == '}':
+			depth--
+		case c == ',' && depth == 0:
+			elems = append(elems, parseSetElem(body[start:i]))
+			start = i + 1
+		}
+	}
+	elems = append(elems, parseSetElem(body[start:]))
+	return elems
+}
+
+func parseSetElem(s string) Value {
+	if len(s) > 1 && s[0] == '{' && s[len(s)-1] == '}' {
+		return Value{kind: KindSet, s: s}
+	}
+	if len(s) > 3 && s[:3] == "_:n" {
+		if id, err := strconv.ParseInt(s[3:], 10, 64); err == nil {
+			return Null(id)
+		}
+	}
+	v, err := ParseLiteral(s)
+	if err != nil {
+		return String(s)
+	}
+	return v
+}
 
 // Kind reports the runtime type of v.
 func (v Value) Kind() Kind { return v.kind }
@@ -142,6 +254,8 @@ func (v Value) String() string {
 		return "d" + strconv.FormatInt(v.i, 10)
 	case KindNull:
 		return "_:n" + strconv.FormatInt(v.i, 10)
+	case KindSet:
+		return v.s
 	default:
 		return "<invalid>"
 	}
@@ -180,7 +294,7 @@ func Compare(a, b Value) int {
 		return int(a.kind) - int(b.kind)
 	}
 	switch a.kind {
-	case KindString:
+	case KindString, KindSet:
 		return strings.Compare(a.s, b.s)
 	case KindInt, KindDate, KindBool, KindNull:
 		return compareInt(a.i, b.i)
@@ -238,7 +352,7 @@ func (v Value) Hash() uint64 {
 	h ^= uint64(v.kind)
 	h *= 1099511628211
 	switch v.kind {
-	case KindString:
+	case KindString, KindSet:
 		for i := 0; i < len(v.s); i++ {
 			h ^= uint64(v.s[i])
 			h *= 1099511628211

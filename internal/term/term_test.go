@@ -200,3 +200,82 @@ func TestSortValues(t *testing.T) {
 		}
 	}
 }
+
+func TestSetCanonical(t *testing.T) {
+	a := Set([]Value{String("b"), String("a"), String("b")})
+	b := Set([]Value{String("a"), String("b")})
+	if a != b {
+		t.Fatalf("sets with equal elements must be ==: %v vs %v", a, b)
+	}
+	if a.Kind() != KindSet || a.String() != "{a,b}" {
+		t.Errorf("canonical form: %v (%s)", a, a.Kind())
+	}
+	if Set(nil).String() != "{}" {
+		t.Errorf("empty set: %v", Set(nil))
+	}
+}
+
+func TestSetElemsRoundTrip(t *testing.T) {
+	elems := []Value{
+		String("plain"),
+		String("with,comma"),
+		String("with{brace"),
+		String(`with"quote`),
+		Int(42),
+		Float(1.5),
+		Bool(true),
+		Null(7),
+		Set([]Value{String("x"), Int(1)}),
+	}
+	s := Set(elems)
+	got := s.SetElems()
+	if len(got) != len(elems) {
+		t.Fatalf("element count: %d, want %d (%v)", len(got), len(elems), got)
+	}
+	want := append([]Value(nil), elems...)
+	SortValues(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("elem %d: %v != %v", i, got[i], want[i])
+		}
+	}
+	if Set(got) != s {
+		t.Error("re-encoding the decoded elements must reproduce the set")
+	}
+}
+
+func TestSetCompareHash(t *testing.T) {
+	a := Set([]Value{String("a")})
+	b := Set([]Value{String("b")})
+	if Compare(a, b) >= 0 || Compare(b, a) <= 0 || Compare(a, a) != 0 {
+		t.Error("set ordering inconsistent")
+	}
+	if a.Hash() == b.Hash() {
+		t.Error("distinct sets should hash apart (probabilistic, fixed input)")
+	}
+	// A set is not its string rendering: the kinds differ.
+	if a == String("{a}") || Equal(a, String("{a}")) {
+		t.Error("set must not equal the string with the same rendering")
+	}
+}
+
+func TestSetDistinguishesIntFromFloat(t *testing.T) {
+	// Int(1) and Float(1.0) are distinct values (strict identity since the
+	// interned-ID cleanup); their set renderings must not collide.
+	a := Set([]Value{Int(1)})
+	b := Set([]Value{Float(1.0)})
+	if a == b {
+		t.Fatalf("Set([Int(1)]) == Set([Float(1.0)]): %v", a)
+	}
+	mixed := Set([]Value{Int(1), Float(1.0)})
+	if got := mixed.SetElems(); len(got) != 2 || got[0] != Int(1) || got[1] != Float(1.0) {
+		t.Errorf("mixed set round-trip: %v -> %v", mixed, got)
+	}
+	if Set(mixed.SetElems()) != mixed {
+		t.Error("mixed set canonical form not stable under round-trip")
+	}
+	// Numerically equal elements sort deterministically (kind tie-break).
+	if Set([]Value{Float(1.0), Int(1)}) != mixed {
+		t.Error("canonical form depends on element order")
+	}
+}

@@ -124,6 +124,15 @@ func (r *Reasoner) Query(ctx context.Context, facts []Fact) (*Result, error) {
 // reasoning failure or context cancellation yields one final
 // (zero fact, err) pair. It is safe to call concurrently on a shared
 // Reasoner.
+//
+// Monotonic aggregates (msum, mprod, mmin, mmax, mcount, munion) stream
+// improving values only: each fact yielded for an aggregate group carries
+// the group's best value at pull time, never a superseded one, and
+// successive yields for a group only ever improve. Intermediates are
+// transient — the engines replace them in place as the aggregate improves
+// — so a yielded value may be superseded by the time the fixpoint
+// completes; only the final database (Query, Session.Output) is limited
+// to exactly one fact per group, the aggregate's limit.
 func (r *Reasoner) Stream(ctx context.Context, facts []Fact, pred string) iter.Seq2[Fact, error] {
 	return func(yield func(Fact, error) bool) {
 		s := r.NewSession()
