@@ -691,7 +691,12 @@ func BenchmarkAggregate_Supersession(b *testing.B) {
 }
 
 // BenchmarkScenario_IWarded runs one representative iWarded scenario
-// (synthA) end to end, allocations reported.
+// (synthA) end to end, allocations reported. The pipeline sub-benchmark
+// continues the historical compile-per-run trajectory; the chase
+// sub-benchmark compiles once and queries per iteration with the batched
+// parallel chase, whose worker count defaults to GOMAXPROCS — so
+// `-cpu 1,4` compares 1 worker against 4 on identical work (the final
+// database is byte-identical by construction).
 func BenchmarkScenario_IWarded(b *testing.B) {
 	cfg, ok := iwarded.Scenario("synthA")
 	if !ok {
@@ -705,11 +710,29 @@ func BenchmarkScenario_IWarded(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		runOnce(b, g.Source, g.Facts, "", nil)
-	}
+	b.Run("pipeline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runOnce(b, g.Source, g.Facts, "", nil)
+		}
+	})
+	b.Run("chase", func(b *testing.B) {
+		r, err := vadalog.Compile(vadalog.MustParse(g.Source), &vadalog.Options{Engine: vadalog.EngineChase})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		var derived int
+		for i := 0; i < b.N; i++ {
+			res, err := r.Query(context.Background(), g.Facts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			derived = res.Derivations()
+		}
+		b.ReportMetric(float64(derived), "derived-facts")
+	})
 }
 
 // TestExperimentTablesSmoke regenerates two representative tables end to

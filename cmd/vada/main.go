@@ -12,6 +12,8 @@
 //	-engine pipeline|chase     execution engine (default pipeline)
 //	-policy full|nosummary|trivial|restricted|skolem
 //	-max N                     derivation budget
+//	-parallel N                chase match workers (0 = GOMAXPROCS,
+//	                           1 = single-threaded; results are identical)
 //	-facts pred=file.csv       extra CSV input (repeatable)
 //	-print pred                print a predicate's facts (repeatable;
 //	                           default: all @output predicates)
@@ -112,6 +114,7 @@ func cmdRun(args []string) {
 	engine := fs.String("engine", "pipeline", "pipeline|chase")
 	policy := fs.String("policy", "full", "full|nosummary|trivial|restricted|skolem")
 	maxDer := fs.Int("max", 0, "derivation budget (0 = default)")
+	parallel := fs.Int("parallel", 0, "chase match workers (0 = GOMAXPROCS, 1 = single-threaded)")
 	var extraFacts, printPreds multiFlag
 	fs.Var(&extraFacts, "facts", "pred=file.csv extra input (repeatable)")
 	fs.Var(&printPreds, "print", "predicate to print (repeatable)")
@@ -121,7 +124,7 @@ func cmdRun(args []string) {
 	}
 	prog := loadProgram(fs.Arg(0))
 
-	opts := &vadalog.Options{MaxDerivations: *maxDer}
+	opts := &vadalog.Options{MaxDerivations: *maxDer, Parallelism: *parallel}
 	switch *engine {
 	case "pipeline":
 		opts.Engine = vadalog.EnginePipeline

@@ -4,13 +4,24 @@
 // internal/eval and internal/storage. The streaming pipeline engine of
 // internal/pipeline produces the same answers; this engine is the
 // readable, correctness-first counterpart used for cross-validation.
+//
+// The chase is evaluated in delta batches: the queue is drained a batch at
+// a time, the (rule, pinned atom, delta fact) firings of the batch are
+// matched against a frozen storage epoch — in parallel when Options.
+// Parallelism allows — and the candidate facts are admitted serially in
+// canonical (task, match) order. Because matching is read-only and
+// admission order is independent of scheduling, the final database is
+// byte-identical for every worker count.
 package chase
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/analysis"
 	"repro/internal/ast"
@@ -49,6 +60,13 @@ type Options struct {
 	// DisableDynamicIndex turns off the slot machine join's dynamic
 	// in-memory indexing (ablation): lookups scan.
 	DisableDynamicIndex bool
+	// Parallelism sets how many worker goroutines evaluate each delta
+	// batch's matches; 0 (the default) selects runtime.GOMAXPROCS(0) and 1
+	// runs the whole batch on the calling goroutine. Workers only
+	// parallelize the read-only match phase against a frozen storage
+	// epoch; candidate facts are always admitted serially in canonical
+	// order, so every setting produces a byte-identical final database.
+	Parallelism int
 }
 
 // Result is the outcome of a reasoning run.
@@ -87,6 +105,11 @@ type Compiled struct {
 	postAgg [][]eval.CCond // conditions depending on the aggregate result
 	// byPred maps predicate -> (rule idx, pos idx) pairs for delta pinning.
 	byPred map[string][][2]int
+	// parSafe marks rules whose matching is free of shared-state writes
+	// and may run on worker goroutines. Rules with Skolem assignments in
+	// the body mint nulls while matching (a null-factory write), so their
+	// firings are evaluated inline on the serial admit path instead.
+	parSafe []bool
 
 	budget int
 }
@@ -138,6 +161,13 @@ func Compile(prog *ast.Program, opts Options) (*Compiled, error) {
 			}
 		}
 		c.postAgg = append(c.postAgg, pa)
+		safe := true
+		for _, asg := range cr.Assigns {
+			if asg.IsSkolem {
+				safe = false
+			}
+		}
+		c.parSafe = append(c.parSafe, safe)
 		for pi, a := range cr.Pos {
 			c.byPred[a.Pred] = append(c.byPred[a.Pred], [2]int{i, pi})
 		}
@@ -153,7 +183,8 @@ func (c *Compiled) Analysis() *analysis.Result { return c.res }
 
 // Engine is the per-run state of a single reasoning session over a
 // shared Compiled artifact. Engines are cheap to create and are for use
-// by a single goroutine; share the Compiled, not the Engine.
+// by a single goroutine (the worker goroutines an engine spins up per
+// delta batch are internal); share the Compiled, not the Engine.
 type Engine struct {
 	c     *Compiled
 	db    *storage.Database
@@ -164,19 +195,65 @@ type Engine struct {
 	bindings []*eval.Binding
 	aggs     []*eval.AggState
 
-	queue       []*core.FactMeta
-	derivations int
-	budget      int
+	queue []*core.FactMeta
+	meter *core.Meter
+	// overflow latches a failed worker-side meter reservation for the
+	// current batch; step turns it into a whole-batch abort.
+	overflow atomic.Bool
+
+	// nworkers is the resolved Options.Parallelism; workers holds the
+	// per-worker match state (snapshot Matcher + private Bindings),
+	// created lazily at the first batch.
+	nworkers int
+	workers  []*matchWorker
+
+	// tasks and results are the current batch: one (delta, rule, pinned
+	// atom) firing per task, with the captured candidate bindings of
+	// parallel-safe tasks in the matching results slot.
+	tasks   []task
+	results []eval.BindingLog
+
+	// groupBuf/contribBuf/headsBuf/parentsBuf are reused across emissions
+	// so emit allocates no per-match container slices (AggState keys copy
+	// what they keep; stored facts retain only the per-head Args slices,
+	// which stay freshly allocated).
+	groupBuf   []term.Value
+	contribBuf []term.Value
+	headsBuf   []ast.Fact
+	parentsBuf []*core.FactMeta
+}
+
+// task is one scheduled firing: rule ri with its pos-th body atom pinned
+// to delta fact m.
+type task struct {
+	m   *core.FactMeta
+	ri  int
+	pos int
+}
+
+// matchWorker is the per-goroutine match state: a snapshot Matcher (pure
+// reads against the frozen epoch), private per-rule Bindings, and the
+// (pred, mask) probes that had to scan for want of an index — promoted to
+// real indexes at the batch boundary.
+type matchWorker struct {
+	mt       *eval.Matcher
+	bindings []*eval.Binding
+	missed   []indexMiss
+}
+
+type indexMiss struct {
+	pred string
+	mask uint32
 }
 
 // NewEngine derives fresh run-time state (database, interner, strategy,
 // bindings, queue) over the shared compiled artifact.
 func (c *Compiled) NewEngine() *Engine {
 	e := &Engine{
-		c:      c,
-		db:     storage.NewDatabase(),
-		subst:  eval.NewNullSubst(),
-		budget: c.budget,
+		c:     c,
+		db:    storage.NewDatabase(),
+		subst: eval.NewNullSubst(),
+		meter: core.NewMeter(c.budget),
 	}
 	if c.opts.NewPolicy != nil {
 		e.strat = c.opts.NewPolicy(c.res)
@@ -187,6 +264,10 @@ func (c *Compiled) NewEngine() *Engine {
 	}
 	if c.opts.DisableDynamicIndex {
 		e.db.DisableIndexes()
+	}
+	e.nworkers = c.opts.Parallelism
+	if e.nworkers <= 0 {
+		e.nworkers = runtime.GOMAXPROCS(0)
 	}
 	e.mt = &eval.Matcher{DB: e.db}
 	for _, cr := range c.rules {
@@ -220,7 +301,7 @@ func (e *Engine) LoadFact(f ast.Fact) {
 	e.db.InsertEDB(f, e.strat)
 	m := rel.At(rel.Len() - 1)
 	e.queue = append(e.queue, m)
-	e.derivations++
+	e.meter.Charge()
 	e.insertTagTwin(f)
 }
 
@@ -256,8 +337,15 @@ func (e *Engine) tagTwinFact(twin string, f ast.Fact) ast.Fact {
 	return ast.Fact{Pred: twin, Args: args}
 }
 
+// maxBatchDeltas caps how many delta facts one batch drains: candidate
+// facts are buffered until the serial admit phase, so the cap bounds the
+// buffering (and the first-batch index-miss scans) without affecting the
+// fixpoint.
+const maxBatchDeltas = 2048
+
 // Run executes the chase to fixpoint and returns the result. Cancelling
-// ctx aborts the breadth-first loop between delta facts.
+// ctx aborts the loop between delta batches (and stops in-flight match
+// workers between tasks).
 func (e *Engine) Run(ctx context.Context, edb []ast.Fact) (*Result, error) {
 	for _, f := range e.c.prog.Facts {
 		e.LoadFact(f)
@@ -269,15 +357,8 @@ func (e *Engine) Run(ctx context.Context, edb []ast.Fact) (*Result, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		m := e.queue[0]
-		e.queue = e.queue[1:]
-		if m.Retracted {
-			continue // superseded aggregate intermediate, no longer a fact
-		}
-		for _, rp := range e.c.byPred[m.Fact.Pred] {
-			if err := e.fire(rp[0], rp[1], m); err != nil {
-				return nil, err
-			}
+		if err := e.step(ctx); err != nil {
+			return nil, err
 		}
 	}
 	return &Result{
@@ -287,12 +368,236 @@ func (e *Engine) Run(ctx context.Context, edb []ast.Fact) (*Result, error) {
 		Strategy:    e.strat,
 		Subst:       e.subst,
 		Rewrite:     e.c.rw,
-		Derivations: e.derivations,
+		Derivations: e.meter.Used(),
 		posts:       e.c.prog.Posts,
 	}, nil
 }
 
-// fire applies rule ri with its pos-th body atom pinned to delta fact m.
+// step drains one delta batch: it schedules every (rule, pinned atom,
+// delta) firing of the batch as a task, matches the parallel-safe tasks
+// against a frozen storage epoch (fanned out to the worker pool), then
+// admits all candidates serially in task order. Tasks of rules whose
+// matching mints nulls run inline during the admit phase, at their
+// canonical position. New facts enqueue for the next batch.
+//
+// On cancellation the whole batch is put back at the head of the queue:
+// a resumed Run re-fires it, which is idempotent (duplicates are
+// eliminated, aggregate updates retain per-contributor maxima, Skolem
+// minting is memoized), so no delta's derivations are ever lost. On
+// candidate-buffer overflow (a runaway batch) nothing of the batch is
+// admitted, keeping the database state at the error deterministic.
+func (e *Engine) step(ctx context.Context) error {
+	n := len(e.queue)
+	if n > maxBatchDeltas {
+		n = maxBatchDeltas
+	}
+	batch := e.queue[:n:n]
+	e.queue = e.queue[n:]
+	e.tasks = e.tasks[:0]
+	for _, m := range batch {
+		if m.Retracted {
+			continue // superseded aggregate intermediate, no longer a fact
+		}
+		for _, rp := range e.c.byPred[m.Fact.Pred] {
+			e.tasks = append(e.tasks, task{m: m, ri: rp[0], pos: rp[1]})
+		}
+	}
+	if len(e.tasks) == 0 {
+		return nil
+	}
+	e.overflow.Store(false)
+	e.matchBatch(ctx)
+	if e.overflow.Load() {
+		// The batch buffered more candidates than the meter's runaway
+		// ceiling allows. Discard it wholesale — nothing was admitted, so
+		// the database at the error is the previous batch's state for
+		// every worker count (which worker observed the crossing is
+		// scheduling-dependent; what was admitted is not).
+		e.meter.ResetPending()
+		return fmt.Errorf("%w (batch candidate buffer overflow)", ErrBudget)
+	}
+	if err := e.admitBatch(ctx); err != nil {
+		if ctx.Err() != nil {
+			// Cancellation, not failure: restore the batch so a resumed
+			// Run picks it back up.
+			e.meter.ResetPending()
+			e.queue = append(batch, e.queue...)
+		}
+		return err
+	}
+	e.meter.ResetPending()
+	e.promoteMisses()
+	return nil
+}
+
+// matchBatch runs the read-only match phase: the database is frozen (all
+// dynamic indexes extended to cover every stored row) and the batch's
+// parallel-safe tasks are matched by nworkers goroutines pulling task
+// indexes off a shared counter. With one worker the phase runs inline on
+// the calling goroutine — same algorithm, no pool.
+func (e *Engine) matchBatch(ctx context.Context) {
+	e.db.Freeze()
+	if cap(e.results) < len(e.tasks) {
+		e.results = make([]eval.BindingLog, len(e.tasks))
+	}
+	e.results = e.results[:len(e.tasks)]
+	// Small batches are not worth goroutine fan-out: run them inline. The
+	// threshold depends only on the task count, never on the worker count
+	// or scheduling, so determinism is unaffected.
+	const fanoutThreshold = 64
+	nw := e.nworkers
+	if nw > len(e.tasks) {
+		nw = len(e.tasks)
+	}
+	if len(e.tasks) < fanoutThreshold {
+		nw = 1
+	}
+	e.ensureWorkers(nw)
+	if nw <= 1 {
+		w := e.workers[0]
+		for ti := range e.tasks {
+			if ctx.Err() != nil {
+				return
+			}
+			e.matchTask(w, ti)
+		}
+		return
+	}
+	// Workers claim fixed-size chunks of the task array off one atomic
+	// cursor: cheap, locality-friendly, and the assignment of tasks to
+	// workers is irrelevant to the result (results land in per-task slots).
+	const chunk = 16
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < nw; k++ {
+		w := e.workers[k]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(next.Add(chunk)) - chunk
+				if start >= len(e.tasks) || ctx.Err() != nil {
+					return
+				}
+				end := start + chunk
+				if end > len(e.tasks) {
+					end = len(e.tasks)
+				}
+				for ti := start; ti < end; ti++ {
+					e.matchTask(w, ti)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// matchTask enumerates the matches of one firing against the frozen epoch
+// and captures each complete binding into the task's log. Budget pressure
+// is metered atomically: a batch that buffers far more candidates than the
+// derivation budget aborts instead of growing without bound.
+func (e *Engine) matchTask(w *matchWorker, ti int) {
+	t := &e.tasks[ti]
+	if !e.c.parSafe[t.ri] {
+		return // evaluated inline on the serial admit path
+	}
+	cr := e.c.rules[t.ri]
+	lg := &e.results[ti]
+	lg.Reset(cr)
+	if err := w.mt.MatchPinned(cr, t.pos, t.m, w.bindings[t.ri], func(b *eval.Binding) error {
+		if !e.meter.Reserve(1) {
+			e.overflow.Store(true)
+			return errBatchOverflow
+		}
+		lg.Capture(b)
+		return nil
+	}); err != nil {
+		lg.Err = err
+	}
+}
+
+// errBatchOverflow aborts a task's enumeration when candidate buffering
+// overran the meter's runaway ceiling; step discards the whole batch and
+// surfaces ErrBudget, so this sentinel never escapes the engine.
+var errBatchOverflow = errors.New("chase: batch candidate buffer overflow")
+
+// admitBatch replays the batch's candidates in canonical (task, match)
+// order through the serial emit path: aggregation state, EGD unification,
+// existential instantiation and admission all happen here, on the calling
+// goroutine, so the database evolves identically for every worker count.
+// A task's captured error surfaces after its captured prefix — exactly
+// where the serial enumeration would have stopped.
+func (e *Engine) admitBatch(ctx context.Context) error {
+	for ti := range e.tasks {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		t := &e.tasks[ti]
+		// A delta superseded by an earlier task of this very batch (its
+		// aggregate intermediate was retracted) no longer fires — the same
+		// pop-time check the serial engine performed; its replacement fact
+		// is already queued.
+		if t.m.Retracted {
+			continue
+		}
+		cr := e.c.rules[t.ri]
+		if !e.c.parSafe[t.ri] {
+			if err := e.fire(t.ri, t.pos, t.m); err != nil {
+				return err
+			}
+			continue
+		}
+		lg := &e.results[ti]
+		b := e.bindings[t.ri]
+		for i := 0; i < lg.Len(); i++ {
+			lg.Restore(i, e.db.Interner(), b)
+			if err := e.emit(t.ri, cr, b); err != nil {
+				return err
+			}
+		}
+		if lg.Err != nil {
+			return lg.Err
+		}
+	}
+	return nil
+}
+
+// ensureWorkers grows the worker pool to n workers, each with its own
+// snapshot Matcher and per-rule Bindings.
+func (e *Engine) ensureWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	for len(e.workers) < n {
+		w := &matchWorker{mt: &eval.Matcher{DB: e.db, Snapshot: true}}
+		w.mt.OnIndexMiss = func(pred string, mask uint32) {
+			w.missed = append(w.missed, indexMiss{pred: pred, mask: mask})
+		}
+		for _, cr := range e.c.rules {
+			w.bindings = append(w.bindings, eval.NewBinding(cr))
+		}
+		e.workers = append(e.workers, w)
+	}
+}
+
+// promoteMisses builds real dynamic indexes for every (pred, mask) a
+// snapshot probe had to scan this batch, so subsequent batches probe them
+// hashed — the slot machine join's lazy indexing, deferred to batch
+// boundaries where mutation is safe.
+func (e *Engine) promoteMisses() {
+	for _, w := range e.workers {
+		for _, ms := range w.missed {
+			if rel := e.db.Lookup(ms.pred); rel != nil {
+				rel.EnsureIndex(ms.mask)
+			}
+		}
+		w.missed = w.missed[:0]
+	}
+}
+
+// fire applies rule ri with its pos-th body atom pinned to delta fact m,
+// matching and emitting fused on the calling goroutine (the serial path
+// for rules whose matching mints nulls).
 func (e *Engine) fire(ri, pos int, m *core.FactMeta) error {
 	cr := e.c.rules[ri]
 	b := e.bindings[ri]
@@ -315,26 +620,25 @@ func (e *Engine) emit(ri int, cr *eval.CompiledRule, b *eval.Binding) error {
 		return nil
 	}
 	if cr.Agg != nil {
-		group := make([]term.Value, len(cr.Agg.GroupSlots))
-		for i, s := range cr.Agg.GroupSlots {
-			group[i] = b.Val(s)
+		// The group/contrib tuples are assembled in engine-owned buffers
+		// reused across firings: AggState keys copy what they retain, so
+		// nothing here escapes the call.
+		group := e.groupBuf[:0]
+		for _, s := range cr.Agg.GroupSlots {
+			group = append(group, b.Val(s))
 		}
-		contrib := make([]term.Value, len(cr.Agg.ContribSlots))
-		for i, s := range cr.Agg.ContribSlots {
-			contrib[i] = b.Val(s)
+		e.groupBuf = group
+		contrib := e.contribBuf[:0]
+		for _, s := range cr.Agg.ContribSlots {
+			contrib = append(contrib, b.Val(s))
 		}
+		e.contribBuf = contrib
 		var x term.Value
 		if cr.Agg.ArgSlot >= 0 {
 			x = b.Val(cr.Agg.ArgSlot)
 		} else {
-			envVals := map[string]term.Value{}
-			for v, s := range cr.VarSlot {
-				if b.Bound[s] {
-					envVals[v] = b.Val(s)
-				}
-			}
 			var err error
-			x, err = cr.Agg.Arg.Eval(envVals)
+			x, err = cr.Agg.Arg.Eval(b.Env(cr, cr.Agg.ArgDeps))
 			if err != nil {
 				return err
 			}
@@ -361,13 +665,9 @@ func (e *Engine) emit(ri int, cr *eval.CompiledRule, b *eval.Binding) error {
 				}
 				continue
 			}
-			envVals := map[string]term.Value{rule.Aggregate.Result: agg}
-			for v, s := range cr.VarSlot {
-				if b.Bound[s] {
-					envVals[v] = b.Val(s)
-				}
-			}
-			ok, err := ast.EvalCondition(c.Cond, envVals)
+			// The aggregate result reaches the environment through its
+			// slot (set above), so the dependency-restricted env suffices.
+			ok, err := ast.EvalCondition(c.Cond, b.Env(cr, c.Deps))
 			if err != nil {
 				return err
 			}
@@ -377,11 +677,13 @@ func (e *Engine) emit(ri int, cr *eval.CompiledRule, b *eval.Binding) error {
 		}
 	}
 	e.mt.InstantiateExistentials(cr, b)
-	heads, err := eval.HeadFacts(cr, b, e.subst)
+	heads, err := eval.HeadFactsAppend(cr, b, e.subst, e.headsBuf[:0])
+	e.headsBuf = heads
 	if err != nil {
 		return err
 	}
-	parents := eval.WardFirstParents(cr, b)
+	parents := eval.WardFirstParentsAppend(cr, b, e.parentsBuf[:0])
+	e.parentsBuf = parents
 	for hi, hf := range heads {
 		// Existential aggregate heads mint per-binding nulls: each binding
 		// is its own fact, not an improvement of the previous one, so they
@@ -433,10 +735,9 @@ func (e *Engine) admitAggregate(ri, hi int, f ast.Fact, ruleID int, parents []*c
 		e.noteSuperseded(old)
 		return nil
 	default: // ReplaceDone
-		if e.derivations >= e.budget {
-			return fmt.Errorf("%w (%d facts)", ErrBudget, e.derivations)
+		if !e.meter.TryCharge() {
+			return fmt.Errorf("%w (%d facts)", ErrBudget, e.meter.Used())
 		}
-		e.derivations++
 		e.queue = append(e.queue, prev.Meta)
 		e.noteSuperseded(old)
 		e.replaceTagTwin(old, f)
@@ -464,11 +765,10 @@ func (e *Engine) admit(f ast.Fact, ruleID int, parents []*core.FactMeta) (*core.
 	if !e.strat.CheckTermination(m) {
 		return nil, nil
 	}
-	if e.derivations >= e.budget {
-		return nil, fmt.Errorf("%w (%d facts)", ErrBudget, e.derivations)
+	if !e.meter.TryCharge() {
+		return nil, fmt.Errorf("%w (%d facts)", ErrBudget, e.meter.Used())
 	}
 	rel.Insert(m)
-	e.derivations++
 	e.queue = append(e.queue, m)
 	e.insertTagTwin(f)
 	return m, nil

@@ -145,7 +145,9 @@ type Policy interface {
 	// NewEDBFact wraps a database fact as a root of the guide structures.
 	NewEDBFact(f ast.Fact) *FactMeta
 	// Derive builds metadata for a fact produced by ruleID from parents
-	// (ward first for warded rules).
+	// (ward first for warded rules). The parents slice is a buffer the
+	// engines reuse across emissions: implementations may retain its
+	// elements but must not retain the slice itself.
 	Derive(f ast.Fact, ruleID int, parents []*FactMeta) *FactMeta
 	// CheckTermination decides whether the chase step adding the fact may
 	// be activated.

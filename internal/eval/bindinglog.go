@@ -1,0 +1,89 @@
+package eval
+
+import (
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/term"
+)
+
+// BindingLog is a packed log of complete rule bindings, the hand-off
+// between the parallel chase's match phase and its serial admit phase: a
+// worker goroutine enumerating matches against a frozen storage epoch
+// captures each complete binding (slot values plus matched parents) into
+// its task's log, and the engine later restores them — in task order, on
+// one goroutine — to run the side-effecting emit path (aggregation, EGD
+// unification, existential instantiation, admission). Captured values are
+// decoded to term.Values, so a restored binding never needs the worker's
+// interner state.
+//
+// Entries are packed into flat arrays (slot stride NSlots, parent stride
+// len(Pos)) so capturing a match costs amortized appends, not per-match
+// allocations. A BindingLog belongs to one task at a time; Reset rebinds
+// it to a rule shape and clears it.
+type BindingLog struct {
+	n      int
+	nslots int
+	npos   int
+
+	vals    []term.Value
+	bound   []bool
+	parents []*core.FactMeta
+
+	// Err is the error that aborted the producing enumeration, if any; the
+	// engine surfaces it after replaying the captured prefix, which is
+	// exactly the order the serial engine would have observed.
+	Err error
+}
+
+// Reset clears the log and shapes it for capturing matches of cr. The
+// previous batch's entries are zeroed before truncation so captured
+// values and parent metadata do not stay reachable through the buffers'
+// capacity for the engine's lifetime (the cost is proportional to the
+// work the previous batch actually did).
+func (lg *BindingLog) Reset(cr *CompiledRule) {
+	clear(lg.vals)
+	clear(lg.parents)
+	lg.n = 0
+	lg.nslots = cr.NSlots
+	lg.npos = len(cr.Pos)
+	lg.vals = lg.vals[:0]
+	lg.bound = lg.bound[:0]
+	lg.parents = lg.parents[:0]
+	lg.Err = nil
+}
+
+// Len returns the number of captured bindings.
+func (lg *BindingLog) Len() int { return lg.n }
+
+// Capture appends the bound slots and matched parents of b. It must be
+// called from the binding's own enumeration (one goroutine per log).
+func (lg *BindingLog) Capture(b *Binding) {
+	for s := 0; s < lg.nslots; s++ {
+		if b.Bound[s] {
+			lg.vals = append(lg.vals, b.Val(s))
+			lg.bound = append(lg.bound, true)
+		} else {
+			lg.vals = append(lg.vals, term.Value{})
+			lg.bound = append(lg.bound, false)
+		}
+	}
+	lg.parents = append(lg.parents, b.Parents[:lg.npos]...)
+	lg.n++
+}
+
+// Restore rebuilds the i-th captured binding into b (decoding through in
+// where needed). b must have been allocated for the same rule the log was
+// Reset with.
+func (lg *BindingLog) Restore(i int, in *storage.Interner, b *Binding) {
+	b.in = in
+	off := i * lg.nslots
+	for s := 0; s < lg.nslots; s++ {
+		if lg.bound[off+s] {
+			b.Set(s, lg.vals[off+s])
+		} else {
+			b.Bound[s] = false
+			b.hasVal[s] = false
+		}
+	}
+	copy(b.Parents, lg.parents[i*lg.npos:(i+1)*lg.npos])
+}

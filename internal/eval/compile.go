@@ -165,6 +165,10 @@ type CompiledRule struct {
 	Info *analysis.RuleInfo
 
 	VarSlot map[string]int
+	// SlotVar is the inverse of VarSlot: the variable name per slot, used
+	// to materialize dependency-restricted expression environments without
+	// walking the whole variable map.
+	SlotVar []string
 	NSlots  int
 
 	Pos []CAtom // positive, non-dom body atoms in source order
@@ -198,6 +202,7 @@ func Compile(rule *ast.Rule, info *analysis.RuleInfo) (*CompiledRule, error) {
 		if !ok {
 			s = cr.NSlots
 			cr.VarSlot[v] = s
+			cr.SlotVar = append(cr.SlotVar, v)
 			cr.NSlots++
 		}
 		return s

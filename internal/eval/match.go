@@ -92,29 +92,87 @@ func (b *Binding) slotID(s int) (uint32, bool) {
 }
 
 // env materializes a variable->value map for expression evaluation,
-// restricted to the needed slots.
+// restricted to the slots the expression actually reads (deps). A nil
+// deps materializes every bound variable — the fallback for callers that
+// cannot enumerate their reads. On wide rules the restriction is what
+// keeps condition evaluation O(|deps|) instead of O(|vars|) per match.
 func (b *Binding) env(cr *CompiledRule, deps []int) map[string]term.Value {
 	clear(b.envBuf)
-	for v, s := range cr.VarSlot {
+	if deps == nil {
+		for v, s := range cr.VarSlot {
+			if b.Bound[s] {
+				b.envBuf[v] = b.Val(s)
+			}
+		}
+		return b.envBuf
+	}
+	for _, s := range deps {
 		if b.Bound[s] {
-			b.envBuf[v] = b.Val(s)
+			b.envBuf[cr.SlotVar[s]] = b.Val(s)
 		}
 	}
-	_ = deps
 	return b.envBuf
 }
 
+// Env materializes the variable environment for expression evaluation,
+// restricted to the slots in deps (nil = every bound variable). The map is
+// a buffer owned by the binding, reused across calls: evaluate before the
+// next Env call and do not retain it.
+func (b *Binding) Env(cr *CompiledRule, deps []int) map[string]term.Value {
+	return b.env(cr, deps)
+}
+
 // Matcher runs compiled rules against a database. It owns no mutable state
-// beyond per-rule reusable bindings, so one Matcher per engine suffices.
+// beyond per-rule reusable bindings, so one Matcher per engine suffices —
+// and in Snapshot mode several Matchers (one per worker goroutine) can
+// probe the same frozen database concurrently.
 type Matcher struct {
 	DB *storage.Database
 	// OnIndexProbe, when set, is invoked with the predicate name on each
 	// index lookup (buffer-manager touch hook).
 	OnIndexProbe func(pred string)
+	// Snapshot makes every probe strictly read-only against a database
+	// frozen with Database.Freeze: lookups neither build nor extend
+	// dynamic indexes and the interner is never written, so any number of
+	// Snapshot matchers may run concurrently over one database. Masks
+	// without a covering index fall back to scans and are reported through
+	// OnIndexMiss for promotion at the next batch boundary.
+	Snapshot bool
+	// OnIndexMiss, when set, is invoked with (predicate, mask) whenever a
+	// Snapshot probe had to scan because no current index covers the mask.
+	OnIndexMiss func(pred string, mask uint32)
 }
 
-// unifyPinned binds the pinned atom against fact; reports success.
-func unifyPinned(b *Binding, a *CAtom, m *core.FactMeta) bool {
+// lookupRows dispatches a probe to the mutating slot-machine lookup or,
+// in Snapshot mode, its read-only counterpart.
+func (mt *Matcher) lookupRows(rel *storage.Relation, pred string, mask uint32, probe []uint32) []int32 {
+	if !mt.Snapshot {
+		return rel.LookupIDs(mask, probe)
+	}
+	rows, indexed := rel.SnapshotLookupIDs(mask, probe)
+	if !indexed && mt.OnIndexMiss != nil {
+		mt.OnIndexMiss(pred, mask)
+	}
+	return rows
+}
+
+// countRows is lookupRows' counting counterpart (negated atoms): neither
+// path materializes a row slice beyond the index bucket.
+func (mt *Matcher) countRows(rel *storage.Relation, pred string, mask uint32, probe []uint32) int {
+	if !mt.Snapshot {
+		return rel.LookupCountIDs(mask, probe)
+	}
+	n, indexed := rel.SnapshotLookupCountIDs(mask, probe)
+	if !indexed && mt.OnIndexMiss != nil {
+		mt.OnIndexMiss(pred, mask)
+	}
+	return n
+}
+
+// unifyPinned binds the pinned atom against fact; reports success. ro
+// (Snapshot mode) forbids interner writes: pinned facts are stored facts,
+// so their arguments are already interned and IDOf suffices.
+func unifyPinned(b *Binding, a *CAtom, m *core.FactMeta, ro bool) bool {
 	f := m.Fact
 	if len(f.Args) != a.arity() {
 		return false
@@ -126,10 +184,18 @@ func unifyPinned(b *Binding, a *CAtom, m *core.FactMeta) bool {
 			}
 			continue
 		}
-		// Pinned facts are (in practice) stored facts, so interning here
-		// is a lookup; it also keeps exotic callers with foreign metas
-		// decodable.
-		id := b.in.Intern(f.Args[i])
+		var id uint32
+		if ro {
+			var ok bool
+			if id, ok = b.in.IDOf(f.Args[i]); !ok {
+				return false // not a stored fact: cannot match read-only
+			}
+		} else {
+			// Pinned facts are (in practice) stored facts, so interning here
+			// is a lookup; it also keeps exotic callers with foreign metas
+			// decodable.
+			id = b.in.Intern(f.Args[i])
+		}
 		s := a.Slot[i]
 		if b.Bound[s] {
 			sid, ok := b.slotID(s)
@@ -160,7 +226,7 @@ func (mt *Matcher) MatchPinned(cr *CompiledRule, pinned int, pinnedMeta *core.Fa
 		b.Parents[i] = nil
 	}
 	if pinned < len(cr.Pos) {
-		if !unifyPinned(b, &cr.Pos[pinned], pinnedMeta) {
+		if !unifyPinned(b, &cr.Pos[pinned], pinnedMeta, mt.Snapshot) {
 			return nil
 		}
 		b.Parents[pinned] = pinnedMeta
@@ -256,7 +322,7 @@ func (mt *Matcher) matchAtom(cr *CompiledRule, steps []Step, si int, ai int, b *
 			probe[i] = id
 		}
 	}
-	rows := rel.LookupIDs(mask, probe)
+	rows := mt.lookupRows(rel, a.Pred, mask, probe)
 	markNewly := len(b.newly)
 	for _, rowIdx := range rows {
 		row := rel.Row(int(rowIdx))
@@ -330,7 +396,7 @@ func (mt *Matcher) negCount(a *CAtom, b *Binding, probe []uint32) (int, error) {
 		mask |= 1 << uint(i)
 		probe[i] = id
 	}
-	return rel.LookupCountIDs(mask, probe), nil
+	return mt.countRows(rel, a.Pred, mask, probe), nil
 }
 
 // evalAssign computes one assignment; Skolem calls mint deterministic
@@ -375,7 +441,13 @@ func (mt *Matcher) InstantiateExistentials(cr *CompiledRule, b *Binding) {
 // instantiation), applying the null substitution subst when non-nil.
 // This is the decode boundary: interned slot IDs become term.Values.
 func HeadFacts(cr *CompiledRule, b *Binding, subst *NullSubst) ([]ast.Fact, error) {
-	out := make([]ast.Fact, 0, len(cr.Heads))
+	return HeadFactsAppend(cr, b, subst, make([]ast.Fact, 0, len(cr.Heads)))
+}
+
+// HeadFactsAppend is HeadFacts appending into a caller-owned buffer, so
+// engines reuse one container slice across emissions. The per-head Args
+// slices are still freshly allocated — stored facts retain them.
+func HeadFactsAppend(cr *CompiledRule, b *Binding, subst *NullSubst, out []ast.Fact) ([]ast.Fact, error) {
 	for hi := range cr.Heads {
 		h := &cr.Heads[hi]
 		args := make([]term.Value, h.arity())
@@ -402,7 +474,13 @@ func HeadFacts(cr *CompiledRule, b *Binding, subst *NullSubst) ([]ast.Fact, erro
 // WardFirstParents orders the matched parents so that the ward's fact
 // comes first, as core.Strategy.Derive expects for warded rules.
 func WardFirstParents(cr *CompiledRule, b *Binding) []*core.FactMeta {
-	out := make([]*core.FactMeta, 0, len(b.Parents))
+	return WardFirstParentsAppend(cr, b, make([]*core.FactMeta, 0, len(b.Parents)))
+}
+
+// WardFirstParentsAppend is WardFirstParents appending into a caller-owned
+// buffer reused across emissions; safe because termination policies may
+// retain parent facts but never the slice itself (see core.Policy).
+func WardFirstParentsAppend(cr *CompiledRule, b *Binding, out []*core.FactMeta) []*core.FactMeta {
 	if cr.WardPos >= 0 && cr.WardPos < len(b.Parents) {
 		out = append(out, b.Parents[cr.WardPos])
 		for i, p := range b.Parents {

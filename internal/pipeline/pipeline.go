@@ -85,6 +85,15 @@ type Session struct {
 	budget      int
 	failure     error
 	quiesced    bool
+
+	// groupBuf/contribBuf/headsBuf/parentsBuf are reused across emissions
+	// so emit allocates no per-match container slices (AggState keys copy
+	// what they keep; stored facts retain only the per-head Args slices,
+	// which stay freshly allocated).
+	groupBuf   []term.Value
+	contribBuf []term.Value
+	headsBuf   []ast.Fact
+	parentsBuf []*core.FactMeta
 }
 
 // hub is the meeting point of all producers of one predicate: the
@@ -421,26 +430,24 @@ func (s *Session) emit(f *ruleFilter, b *eval.Binding) (int, error) {
 		return 0, nil
 	}
 	if cr.Agg != nil {
-		group := make([]term.Value, len(cr.Agg.GroupSlots))
-		for i, sl := range cr.Agg.GroupSlots {
-			group[i] = b.Val(sl)
+		// Group/contrib tuples live in session-owned buffers reused across
+		// firings: AggState keys copy what they retain, so nothing escapes.
+		group := s.groupBuf[:0]
+		for _, sl := range cr.Agg.GroupSlots {
+			group = append(group, b.Val(sl))
 		}
-		contrib := make([]term.Value, len(cr.Agg.ContribSlots))
-		for i, sl := range cr.Agg.ContribSlots {
-			contrib[i] = b.Val(sl)
+		s.groupBuf = group
+		contrib := s.contribBuf[:0]
+		for _, sl := range cr.Agg.ContribSlots {
+			contrib = append(contrib, b.Val(sl))
 		}
+		s.contribBuf = contrib
 		var x term.Value
 		if cr.Agg.ArgSlot >= 0 {
 			x = b.Val(cr.Agg.ArgSlot)
 		} else {
-			env := map[string]term.Value{}
-			for v, sl := range cr.VarSlot {
-				if b.Bound[sl] {
-					env[v] = b.Val(sl)
-				}
-			}
 			var err error
-			x, err = cr.Agg.Arg.Eval(env)
+			x, err = cr.Agg.Arg.Eval(b.Env(cr, cr.Agg.ArgDeps))
 			if err != nil {
 				return 0, err
 			}
@@ -467,13 +474,9 @@ func (s *Session) emit(f *ruleFilter, b *eval.Binding) (int, error) {
 				}
 				continue
 			}
-			env := map[string]term.Value{rule.Aggregate.Result: agg}
-			for v, sl := range cr.VarSlot {
-				if b.Bound[sl] {
-					env[v] = b.Val(sl)
-				}
-			}
-			ok, err := ast.EvalCondition(c.Cond, env)
+			// The aggregate result reaches the environment through its slot
+			// (set above), so the dependency-restricted env suffices.
+			ok, err := ast.EvalCondition(c.Cond, b.Env(cr, c.Deps))
 			if err != nil {
 				return 0, err
 			}
@@ -483,11 +486,13 @@ func (s *Session) emit(f *ruleFilter, b *eval.Binding) (int, error) {
 		}
 	}
 	s.mt.InstantiateExistentials(cr, b)
-	heads, err := eval.HeadFacts(cr, b, s.subst)
+	heads, err := eval.HeadFactsAppend(cr, b, s.subst, s.headsBuf[:0])
+	s.headsBuf = heads
 	if err != nil {
 		return 0, err
 	}
-	parents := eval.WardFirstParents(cr, b)
+	parents := eval.WardFirstParentsAppend(cr, b, s.parentsBuf[:0])
+	s.parentsBuf = parents
 	admitted := 0
 	for hi, hf := range heads {
 		// Existential aggregate heads mint per-binding nulls: each binding

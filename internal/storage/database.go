@@ -69,6 +69,18 @@ func (db *Database) Predicates() []string {
 	return append([]string(nil), db.names...)
 }
 
+// Freeze opens a read-only evaluation epoch over every relation: dynamic
+// indexes and live-row caches are eagerly extended to cover all stored
+// rows, after which SnapshotLookupIDs probes (and the interner's read
+// paths) are safe from any number of goroutines until the next mutation.
+// The parallel chase freezes the database before fanning a delta batch
+// out to its match workers and mutates it only on the serial admit path.
+func (db *Database) Freeze() {
+	for _, r := range db.rels {
+		r.Freeze()
+	}
+}
+
 // Insert stores m in its predicate's relation; it reports whether the fact
 // was new.
 func (db *Database) Insert(m *core.FactMeta) bool {

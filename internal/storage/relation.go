@@ -90,6 +90,20 @@ type Relation struct {
 	// delivered as a fresh delta without disturbing existing cursors.
 	log []int32
 
+	// liveRows caches the ascending row indexes of the live (non-retracted)
+	// rows; liveUpTo counts how many stored rows have been folded into it.
+	// The cache is extended lazily by full-scan lookups (and eagerly by
+	// Freeze) and invalidated by retraction, so mask-0 probes stop
+	// allocating a fresh slice per call.
+	liveRows []int32
+	liveUpTo int
+
+	// epoch is the row watermark recorded by the last Freeze: rows
+	// [0, epoch) are covered by every dynamic index and by the live-row
+	// cache, making SnapshotLookupIDs a pure read. Appends after Freeze
+	// move len(metas) past epoch; the next Freeze re-covers them.
+	epoch int
+
 	// retracted counts rows whose metadata is marked Retracted: physically
 	// present (row indexes stay stable) but no longer part of the
 	// database — excluded from lookups, duplicate checks and Facts.
@@ -100,6 +114,16 @@ type Relation struct {
 	scratch  []uint32 // reusable row buffer for Insert/Contains
 	probeBuf []uint32 // reusable probe-ID buffer for value-based Lookup
 	replBuf  []uint32 // reusable old-row copy for Replace
+
+	// prep memoizes the interned row (in scratch) and its hash computed by
+	// the last Contains miss, so the engines' admit pattern — Contains(f),
+	// then Insert of a meta wrapping the same f — interns and hashes each
+	// tuple once instead of twice. prepArgs identifies the fact by its
+	// args-slice address; any other scratch writer invalidates the memo.
+	prepArgs *term.Value
+	prepLen  int
+	prepHash uint64
+	prepOK   bool
 }
 
 type dynIndex struct {
@@ -240,8 +264,17 @@ func (r *Relation) Insert(m *core.FactMeta) bool {
 	if len(m.Fact.Args) > r.arity {
 		r.restride(len(m.Fact.Args))
 	}
-	row := r.internRow(m.Fact.Args)
-	h := hashRow(row)
+	var row []uint32
+	var h uint64
+	if r.prepOK && r.prepLen == len(m.Fact.Args) && &m.Fact.Args[0] == r.prepArgs {
+		// The row was interned and hashed by the Contains call that just
+		// missed on this very fact; reuse both.
+		row, h = r.scratch, r.prepHash
+	} else {
+		row = r.internRow(m.Fact.Args)
+		h = hashRow(row)
+	}
+	r.prepOK = false
 	for _, ri := range r.exact[h] {
 		if r.rowEqual(int(ri), row) {
 			return false
@@ -290,6 +323,7 @@ func (r *Relation) Replace(i int, f ast.Fact) ReplaceOutcome {
 	if len(f.Args) > r.arity {
 		r.restride(len(f.Args))
 	}
+	r.prepOK = false
 	newRow := r.internRow(f.Args)
 	if r.rowEqual(i, newRow) {
 		return ReplaceUnchanged
@@ -328,6 +362,8 @@ func (r *Relation) Replace(i int, f ast.Fact) ReplaceOutcome {
 // retract removes row i from the duplicate-check table and every dynamic
 // index and marks its metadata Retracted. The row keeps its position so
 // indexes into the relation stay stable; it is simply no longer a fact.
+// The live-row cache is invalidated (rebuilt on the next full-scan probe);
+// retraction is the rare path, so the rebuild cost stays off the hot loop.
 func (r *Relation) retract(i int) {
 	row := r.Row(i)
 	removeRow(r.exact, hashRow(row), i)
@@ -338,6 +374,25 @@ func (r *Relation) retract(i int) {
 	}
 	r.metas[i].Retracted = true
 	r.retracted++
+	r.liveRows = nil
+	r.liveUpTo = 0
+}
+
+// liveSnapshot extends the cached live-row list over rows appended since
+// the last call and returns it. The returned slice is shared: callers must
+// not modify it, and it reflects liveness at call time (rows retracted
+// afterwards invalidate the cache, not slices already handed out — the
+// exact semantics the per-call allocation it replaces had).
+func (r *Relation) liveSnapshot() []int32 {
+	if r.liveRows == nil && r.liveUpTo == 0 && len(r.metas) > 0 {
+		r.liveRows = make([]int32, 0, len(r.metas)-r.retracted)
+	}
+	for ; r.liveUpTo < len(r.metas); r.liveUpTo++ {
+		if !r.metas[r.liveUpTo].Retracted {
+			r.liveRows = append(r.liveRows, int32(r.liveUpTo))
+		}
+	}
+	return r.liveRows
 }
 
 // removeRow deletes row index i from the hash bucket at h.
@@ -364,6 +419,7 @@ func maskedIDsEqual(a, b []uint32, mask uint32) bool {
 // FindExact returns the row index of the stored fact exactly equal to f.
 // Like Contains it never interns.
 func (r *Relation) FindExact(f ast.Fact) (int, bool) {
+	r.prepOK = false
 	if len(f.Args) > r.arity {
 		return 0, false
 	}
@@ -390,8 +446,10 @@ func (r *Relation) FindExact(f ast.Fact) (int, bool) {
 
 // Contains reports whether an exactly equal fact is stored. It never
 // interns: a value absent from the symbol table occurs in no stored
-// fact.
+// fact. A miss whose tuple resolved fully is memoized so an immediately
+// following Insert of the same fact skips re-interning and re-hashing.
 func (r *Relation) Contains(f ast.Fact) bool {
+	r.prepOK = false
 	if len(f.Args) > r.arity {
 		return false
 	}
@@ -412,6 +470,12 @@ func (r *Relation) Contains(f ast.Fact) bool {
 		if r.rowEqual(int(ri), row) {
 			return true
 		}
+	}
+	if len(f.Args) > 0 {
+		r.prepArgs = &f.Args[0]
+		r.prepLen = len(f.Args)
+		r.prepHash = h
+		r.prepOK = true
 	}
 	return false
 }
@@ -440,6 +504,7 @@ func (r *Relation) restride(arity int) {
 	r.scratch = nil
 	r.probeBuf = nil
 	r.replBuf = nil
+	r.prepOK = false
 }
 
 // NoIndex disables dynamic indexing for this relation: every Lookup scans
@@ -464,43 +529,43 @@ func (r *Relation) maskedEqual(ri int, mask uint32, probe []uint32) bool {
 // probe, then scan of the unindexed suffix, as in the paper's slot
 // machine join). Candidates from the hash bucket are verified by ID
 // comparison, so hash collisions never leak into the result.
+//
+// The returned slice aliases shared storage (an index bucket, or the
+// live-row cache for the trivial mask): callers must not modify it, and
+// it reflects liveness at call time only.
 func (r *Relation) LookupIDs(mask uint32, probe []uint32) []int32 {
 	if mask == 0 {
-		out := make([]int32, 0, len(r.metas)-r.retracted)
-		for i := range r.metas {
-			if !r.metas[i].Retracted {
-				out = append(out, int32(i))
-			}
-		}
-		return out
+		return r.liveSnapshot()
 	}
 	if r.noIndex {
-		var out []int32
-		for i := range r.metas {
-			if !r.metas[i].Retracted && r.maskedEqual(i, mask, probe) {
-				out = append(out, int32(i))
-			}
-		}
-		return out
+		return r.scanMasked(mask, probe)
 	}
 	ix := r.indexes[mask]
 	if ix == nil {
 		ix = &dynIndex{mask: mask, entries: make(map[uint64][]int32)}
 		r.indexes[mask] = ix
 	}
-	// Extend the index over facts appended since the last probe; retracted
-	// rows (removed from every index at retraction) never enter.
+	r.extendIndex(ix)
+	return r.filterBucket(ix.entries[hashMasked(probe, mask)], mask, probe)
+}
+
+// extendIndex covers facts appended since the index's last probe;
+// retracted rows (removed from every index at retraction) never enter.
+func (r *Relation) extendIndex(ix *dynIndex) {
 	for ; ix.upTo < len(r.metas); ix.upTo++ {
 		if r.metas[ix.upTo].Retracted {
 			continue
 		}
-		h := hashMasked(r.rows[ix.upTo*r.arity:(ix.upTo+1)*r.arity], mask)
+		h := hashMasked(r.rows[ix.upTo*r.arity:(ix.upTo+1)*r.arity], ix.mask)
 		ix.entries[h] = append(ix.entries[h], int32(ix.upTo))
 		ix.bytes += 20
 	}
-	bucket := ix.entries[hashMasked(probe, mask)]
-	// Fast path: the whole bucket matches (collisions are rare), so the
-	// bucket is returned as-is without allocating.
+}
+
+// filterBucket verifies a hash bucket's candidates by ID comparison. Fast
+// path: the whole bucket matches (collisions are rare), so the bucket is
+// returned as-is without allocating.
+func (r *Relation) filterBucket(bucket []int32, mask uint32, probe []uint32) []int32 {
 	for k, ri := range bucket {
 		if r.maskedEqual(int(ri), mask, probe) {
 			continue
@@ -515,6 +580,109 @@ func (r *Relation) LookupIDs(mask uint32, probe []uint32) []int32 {
 		return filtered
 	}
 	return bucket
+}
+
+// scanMasked is the index-free probe: a full scan verifying the masked
+// positions of every live row.
+func (r *Relation) scanMasked(mask uint32, probe []uint32) []int32 {
+	var out []int32
+	for i := range r.metas {
+		if !r.metas[i].Retracted && r.maskedEqual(i, mask, probe) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// Freeze prepares the relation for a read-only evaluation epoch: every
+// dynamic index and the live-row cache are eagerly extended to cover all
+// stored rows, and the row watermark is recorded. After Freeze — and until
+// the next Insert/Replace — SnapshotLookupIDs probes are pure reads, safe
+// to issue from any number of goroutines concurrently. Freeze itself (and
+// all mutation) must stay single-goroutine.
+func (r *Relation) Freeze() {
+	r.liveSnapshot()
+	for _, ix := range r.indexes {
+		r.extendIndex(ix)
+	}
+	r.epoch = len(r.metas)
+}
+
+// Epoch returns the row watermark of the last Freeze: rows [0, Epoch())
+// are covered by every dynamic index and the live-row cache.
+func (r *Relation) Epoch() int { return r.epoch }
+
+// EnsureIndex builds (or extends to full coverage) the dynamic index for
+// mask without probing it — the batch-boundary promotion for masks that
+// SnapshotLookupIDs had to scan during a frozen epoch. A no-op for the
+// trivial mask and under SetNoIndex.
+func (r *Relation) EnsureIndex(mask uint32) {
+	if mask == 0 || r.noIndex {
+		return
+	}
+	ix := r.indexes[mask]
+	if ix == nil {
+		ix = &dynIndex{mask: mask, entries: make(map[uint64][]int32)}
+		r.indexes[mask] = ix
+	}
+	r.extendIndex(ix)
+}
+
+// SnapshotLookupIDs is the read-only counterpart of LookupIDs for frozen
+// epochs: it answers the same probe without building or extending any
+// index, so concurrent probes from worker goroutines are safe between
+// Freeze and the next mutation. The boolean reports whether an index (or
+// the live-row cache) served the probe; false means the probe fell back to
+// a full scan because no current index covers mask — callers should record
+// the miss and EnsureIndex at the next batch boundary. Returned slices
+// alias shared storage exactly like LookupIDs' and must not be modified.
+func (r *Relation) SnapshotLookupIDs(mask uint32, probe []uint32) ([]int32, bool) {
+	if mask == 0 {
+		if r.liveUpTo == len(r.metas) {
+			return r.liveRows, true
+		}
+		// Unfrozen caller: serve a private scan rather than touch the cache.
+		out := make([]int32, 0, len(r.metas)-r.retracted)
+		for i := range r.metas {
+			if !r.metas[i].Retracted {
+				out = append(out, int32(i))
+			}
+		}
+		return out, true
+	}
+	if r.noIndex {
+		return r.scanMasked(mask, probe), true
+	}
+	if ix := r.indexes[mask]; ix != nil && ix.upTo == len(r.metas) {
+		return r.filterBucket(ix.entries[hashMasked(probe, mask)], mask, probe), true
+	}
+	return r.scanMasked(mask, probe), false
+}
+
+// SnapshotLookupCountIDs counts matches with SnapshotLookupIDs semantics
+// without materializing a row slice even on the scan fallback.
+func (r *Relation) SnapshotLookupCountIDs(mask uint32, probe []uint32) (int, bool) {
+	if mask == 0 {
+		return len(r.metas) - r.retracted, true
+	}
+	if !r.noIndex {
+		if ix := r.indexes[mask]; ix != nil && ix.upTo == len(r.metas) {
+			n := 0
+			for _, ri := range ix.entries[hashMasked(probe, mask)] {
+				if r.maskedEqual(int(ri), mask, probe) {
+					n++
+				}
+			}
+			return n, true
+		}
+	}
+	n := 0
+	for i := range r.metas {
+		if !r.metas[i].Retracted && r.maskedEqual(i, mask, probe) {
+			n++
+		}
+	}
+	return n, r.noIndex
 }
 
 // Lookup is the value-based probe: vals must have the relation's arity

@@ -1,0 +1,151 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/term"
+)
+
+func fillRel(n int) *Relation {
+	r := NewRelation("p", 2)
+	for i := 0; i < n; i++ {
+		r.Insert(meta("p", term.String(fmt.Sprintf("k%d", i%7)), term.Int(int64(i))))
+	}
+	return r
+}
+
+// TestSnapshotLookupMatchesLookup: after Freeze, the read-only probe
+// answers every mask exactly like the mutating slot-machine lookup.
+func TestSnapshotLookupMatchesLookup(t *testing.T) {
+	r := fillRel(60)
+	r.EnsureIndex(1) // pre-built index: snapshot must report indexed
+	r.Freeze()
+	in := r.Interner()
+	for i := 0; i < 7; i++ {
+		id, ok := in.IDOf(term.String(fmt.Sprintf("k%d", i)))
+		if !ok {
+			t.Fatalf("key k%d not interned", i)
+		}
+		probe := []uint32{id, 0}
+		got, indexed := r.SnapshotLookupIDs(1, probe)
+		if !indexed {
+			t.Errorf("k%d: pre-built index not used", i)
+		}
+		want := r.LookupIDs(1, probe)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("k%d: snapshot %v vs lookup %v", i, got, want)
+		}
+	}
+	// A mask with no index must scan, flag the miss, and still be exact.
+	id, _ := in.IDOf(term.Int(3))
+	probe := []uint32{0, id}
+	got, indexed := r.SnapshotLookupIDs(2, probe)
+	if indexed {
+		t.Error("mask 2 has no index; snapshot should report a scan")
+	}
+	if len(got) != 1 {
+		t.Errorf("scan found %d rows, want 1", len(got))
+	}
+	// Promotion at the batch boundary: EnsureIndex makes the next snapshot
+	// probe indexed without changing the answer.
+	r.EnsureIndex(2)
+	got2, indexed := r.SnapshotLookupIDs(2, probe)
+	if !indexed {
+		t.Error("EnsureIndex did not cover mask 2")
+	}
+	if fmt.Sprint(got2) != fmt.Sprint(got) {
+		t.Errorf("promotion changed the answer: %v vs %v", got2, got)
+	}
+}
+
+// TestSnapshotConcurrentProbes hammers a frozen relation from many
+// goroutines (run under -race): probes of indexed masks, scanned masks and
+// the live-row cache must all be pure reads.
+func TestSnapshotConcurrentProbes(t *testing.T) {
+	r := fillRel(200)
+	r.EnsureIndex(1)
+	r.Freeze()
+	in := r.Interner()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			probe := make([]uint32, 2)
+			for i := 0; i < 200; i++ {
+				id, _ := in.IDOf(term.String(fmt.Sprintf("k%d", (i+w)%7)))
+				probe[0] = id
+				if rows, _ := r.SnapshotLookupIDs(1, probe); len(rows) == 0 {
+					t.Error("indexed probe found nothing")
+					return
+				}
+				if id, ok := in.IDOf(term.Int(int64(i))); ok {
+					probe[1] = id
+					if n, _ := r.SnapshotLookupCountIDs(2, probe); n != 1 {
+						t.Errorf("scan count: %d", n)
+						return
+					}
+				}
+				if rows, _ := r.SnapshotLookupIDs(0, nil); len(rows) != 200 {
+					t.Errorf("live rows: %d", len(rows))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestLiveRowCache: repeated full-scan lookups reuse one cached slice,
+// the cache extends over appended rows, and retraction invalidates it.
+func TestLiveRowCache(t *testing.T) {
+	r := fillRel(50)
+	a := r.LookupIDs(0, nil)
+	b := r.LookupIDs(0, nil)
+	if len(a) != 50 || len(b) != 50 {
+		t.Fatalf("live scan: %d/%d", len(a), len(b))
+	}
+	if &a[0] != &b[0] {
+		t.Error("mask-0 lookups should share the cached live-row slice")
+	}
+	r.Insert(meta("p", term.String("new"), term.Int(999)))
+	if got := r.LookupIDs(0, nil); len(got) != 51 {
+		t.Errorf("cache did not extend over the append: %d", len(got))
+	}
+	// Retract via Replace-to-existing: row 0 collides with row 1's value.
+	f1 := r.At(1).Fact
+	if out := r.Replace(0, f1); out != ReplaceRetracted {
+		t.Fatalf("replace outcome: %v", out)
+	}
+	got := r.LookupIDs(0, nil)
+	if len(got) != 50 {
+		t.Errorf("after retraction: %d live rows, want 50", len(got))
+	}
+	for _, ri := range got {
+		if ri == 0 {
+			t.Error("retracted row 0 still in the live cache")
+		}
+	}
+}
+
+// TestFreezeEpoch: Freeze records the watermark and covers every index.
+func TestFreezeEpoch(t *testing.T) {
+	db := NewDatabase()
+	r := db.Rel("p", 2)
+	for i := 0; i < 20; i++ {
+		r.Insert(meta("p", term.Int(int64(i%3)), term.Int(int64(i))))
+	}
+	r.EnsureIndex(1)
+	r.Insert(meta("p", term.Int(7), term.Int(100)))
+	db.Freeze()
+	if r.Epoch() != 21 {
+		t.Errorf("epoch: %d, want 21", r.Epoch())
+	}
+	id, _ := db.Interner().IDOf(term.Int(7))
+	rows, indexed := r.SnapshotLookupIDs(1, []uint32{id, 0})
+	if !indexed || len(rows) != 1 {
+		t.Errorf("frozen index missed the post-build append: indexed=%v rows=%v", indexed, rows)
+	}
+}

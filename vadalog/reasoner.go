@@ -68,6 +68,7 @@ func Compile(prog *Program, opts *Options) (*Reasoner, error) {
 			NewPolicy:           newPolicy,
 			DisableSummary:      disableSummary,
 			DisableDynamicIndex: o.DisableDynamicIndex,
+			Parallelism:         o.Parallelism,
 		})
 		if err != nil {
 			return nil, err

@@ -117,6 +117,14 @@ type Options struct {
 	// DisableDynamicIndex turns off the slot machine join's dynamic
 	// indexing (ablation benchmarks).
 	DisableDynamicIndex bool
+	// Parallelism sets how many worker goroutines the chase engine uses to
+	// match each delta batch against a frozen storage epoch; 0 (the
+	// default) selects runtime.GOMAXPROCS(0) and 1 evaluates batches on
+	// the calling goroutine. Candidate facts are always admitted serially
+	// in a canonical order, so every setting yields a byte-identical final
+	// database. The streaming pipeline engine is a single-goroutine pull
+	// machine and ignores this option.
+	Parallelism int
 }
 
 // ErrInconsistent is returned when a negative constraint fires or an EGD
