@@ -12,7 +12,9 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -726,6 +728,75 @@ func BenchmarkScenario_IWarded(b *testing.B) {
 		var derived int
 		for i := 0; i < b.N; i++ {
 			res, err := r.Query(context.Background(), g.Facts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			derived = res.Derivations()
+		}
+		b.ReportMetric(float64(derived), "derived-facts")
+	})
+}
+
+// BenchmarkStreamingLoad compares the record-manager load paths (PR 5):
+// "eager" materializes the whole CSV into a fact slice before loading
+// (the historical ReadAll path, still available as ReadCSV), "chunked"
+// streams the @bind'ed cursor chunk by chunk into storage, and
+// "chunked-qbind" additionally pushes a selection into the csv driver so
+// filtered rows never surface to the engine.
+func BenchmarkStreamingLoad(b *testing.B) {
+	n := int(50000 * benchScale() * 10)
+	if n < 2000 {
+		n = 2000
+	}
+	dir := b.TempDir()
+	path := filepath.Join(dir, "edge.csv")
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "n%d,n%d,%d\n", i, (i+1)%n, i%100)
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	rules := `
+		edge(X,Y,W), W > 90 -> hot(X,Y).
+		@output("hot").
+	`
+	plain := vadalog.MustCompile(vadalog.MustParse(rules), nil)
+	bound := vadalog.MustCompile(vadalog.MustParse(
+		rules+fmt.Sprintf("@bind(%q,%q,%q).", "edge", "csv", path)), nil)
+	qbound := vadalog.MustCompile(vadalog.MustParse(
+		rules+fmt.Sprintf("@qbind(%q,%q,%q,%q).", "edge", "csv", path, "$3 > 90")), nil)
+	var derived int
+	b.Run("eager", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			facts, err := vadalog.ReadCSV("edge", path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := plain.Query(context.Background(), facts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			derived = res.Derivations()
+		}
+		b.ReportMetric(float64(derived), "derived-facts")
+	})
+	b.Run("chunked", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := bound.Query(context.Background(), nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			derived = res.Derivations()
+		}
+		b.ReportMetric(float64(derived), "derived-facts")
+	})
+	b.Run("chunked-qbind", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := qbound.Query(context.Background(), nil)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 // Command vada is the Vadalog command-line interface: it checks and runs
-// Vadalog programs end to end (storage to storage via @bind CSV record
-// managers, or printing outputs to stdout).
+// Vadalog programs end to end (storage to storage via the @bind/@qbind
+// record managers — csv, tsv, jsonl, mem and any registered driver — or
+// printing outputs to stdout).
 //
 // Usage:
 //
@@ -15,6 +16,9 @@
 //	-parallel N                chase match workers (0 = GOMAXPROCS,
 //	                           1 = single-threaded; results are identical)
 //	-facts pred=file.csv       extra CSV input (repeatable)
+//	-bind pred=driver:target   override (or add) a predicate's binding
+//	                           without editing the program (repeatable),
+//	                           e.g. -bind own=tsv:/data/own.tsv
 //	-print pred                print a predicate's facts (repeatable;
 //	                           default: all @output predicates)
 package main
@@ -27,6 +31,7 @@ import (
 	"os/signal"
 	"strings"
 
+	"repro/internal/ast"
 	"repro/vadalog"
 )
 
@@ -109,20 +114,50 @@ func cmdCheck(args []string) {
 	}
 }
 
+// overrideBinding rewrites (or adds) the program binding of one
+// predicate from a "pred=driver:target" flag value, so a program can be
+// pointed at a different file, format or driver from the command line.
+// A @qbind'ed predicate keeps its query.
+func overrideBinding(prog *vadalog.Program, spec string) error {
+	pred, rest, ok := strings.Cut(spec, "=")
+	if !ok {
+		return fmt.Errorf("bad -bind %q (want pred=driver:target)", spec)
+	}
+	driver, target, ok := strings.Cut(rest, ":")
+	if !ok || driver == "" || target == "" {
+		return fmt.Errorf("bad -bind %q (want pred=driver:target)", spec)
+	}
+	for i := range prog.Bindings {
+		if prog.Bindings[i].Pred == pred {
+			prog.Bindings[i].Driver = driver
+			prog.Bindings[i].Target = target
+			return nil
+		}
+	}
+	prog.Bindings = append(prog.Bindings, ast.Binding{Pred: pred, Driver: driver, Target: target})
+	return nil
+}
+
 func cmdRun(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	engine := fs.String("engine", "pipeline", "pipeline|chase")
 	policy := fs.String("policy", "full", "full|nosummary|trivial|restricted|skolem")
 	maxDer := fs.Int("max", 0, "derivation budget (0 = default)")
 	parallel := fs.Int("parallel", 0, "chase match workers (0 = GOMAXPROCS, 1 = single-threaded)")
-	var extraFacts, printPreds multiFlag
+	var extraFacts, printPreds, bindOverrides multiFlag
 	fs.Var(&extraFacts, "facts", "pred=file.csv extra input (repeatable)")
 	fs.Var(&printPreds, "print", "predicate to print (repeatable)")
+	fs.Var(&bindOverrides, "bind", "pred=driver:target binding override (repeatable)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
 	}
 	prog := loadProgram(fs.Arg(0))
+	for _, spec := range bindOverrides {
+		if err := overrideBinding(prog, spec); err != nil {
+			fatal(err)
+		}
+	}
 
 	opts := &vadalog.Options{MaxDerivations: *maxDer, Parallelism: *parallel}
 	switch *engine {

@@ -499,12 +499,19 @@ func (f Fact) IsoKey() string {
 	return sb.String()
 }
 
-// Binding is an @bind annotation attaching a predicate to an external
-// source or sink via a record manager.
+// Binding is an @bind or @qbind annotation attaching a predicate to an
+// external source or sink via a record manager. @qbind carries a query —
+// a constant selection over predicate positions like "$2 > 10" — that the
+// binding layer pushes into the driver when supported (post-filtering
+// otherwise); @bind has none.
 type Binding struct {
 	Pred   string
-	Driver string // e.g. "csv"
-	Target string // e.g. a file path
+	Driver string // registry name, e.g. "csv"
+	Target string // driver-interpreted locator, e.g. a file path
+	Query  string // @qbind selection; "" for @bind
+	// Line/Col locate the annotation in the source text (0 when the
+	// program was built programmatically) for positioned compile errors.
+	Line, Col int
 }
 
 // PostDirective is an @post annotation: a post-processing step applied to
@@ -516,10 +523,14 @@ type PostDirective struct {
 }
 
 // Mapping is an @mapping annotation harmonizing named external columns
-// with Vadalog's positional perspective.
+// with Vadalog's positional perspective: the named source columns are
+// selected, in order, onto the predicate's argument positions.
 type Mapping struct {
 	Pred    string
 	Columns []string
+	// Line/Col locate the annotation in the source text (0 when the
+	// program was built programmatically) for positioned compile errors.
+	Line, Col int
 }
 
 // Program is a parsed Vadalog program: rules, inline facts and
@@ -600,7 +611,18 @@ func (p *Program) String() string {
 		fmt.Fprintf(&sb, "@output(%q).\n", pred)
 	}
 	for _, b := range p.Bindings {
-		fmt.Fprintf(&sb, "@bind(%q,%q,%q).\n", b.Pred, b.Driver, b.Target)
+		if b.Query != "" {
+			fmt.Fprintf(&sb, "@qbind(%q,%q,%q,%q).\n", b.Pred, b.Driver, b.Target, b.Query)
+		} else {
+			fmt.Fprintf(&sb, "@bind(%q,%q,%q).\n", b.Pred, b.Driver, b.Target)
+		}
+	}
+	for _, m := range p.Mappings {
+		fmt.Fprintf(&sb, "@mapping(%q", m.Pred)
+		for _, c := range m.Columns {
+			fmt.Fprintf(&sb, ",%q", c)
+		}
+		sb.WriteString(").\n")
 	}
 	for _, f := range p.Facts {
 		sb.WriteString(f.String())

@@ -305,6 +305,29 @@ func (e *Engine) LoadFact(f ast.Fact) {
 	e.insertTagTwin(f)
 }
 
+// DB exposes the engine's database (record-manager loads, diagnostics).
+func (e *Engine) DB() *storage.Database { return e.db }
+
+// LoadFacts admits one chunk of EDB facts — the streaming-load entry
+// point: record managers feed their cursors through it chunk by chunk
+// (duplicates are skipped, so re-feeding after an interrupted load is
+// idempotent). Loaded facts queue as deltas for the next batch drain.
+func (e *Engine) LoadFacts(facts []ast.Fact) {
+	for _, f := range facts {
+		e.LoadFact(f)
+	}
+}
+
+// LoadProgramFacts admits the compiled program's inline facts — the same
+// facts Run loads first. It is idempotent; callers streaming bound
+// inputs before Run use it to establish the canonical admission order
+// (program facts, then bound inputs, then staged facts).
+func (e *Engine) LoadProgramFacts() {
+	for _, f := range e.c.prog.Facts {
+		e.LoadFact(f)
+	}
+}
+
 // insertTagTwin mirrors an admitted fact of a tagged predicate into its
 // tag twin, with labelled nulls replaced by their canonical ground keys
 // (dynamic harmful-join elimination; see rewrite.EliminateHarmfulJoinsDynamic).
@@ -347,12 +370,8 @@ const maxBatchDeltas = 2048
 // ctx aborts the loop between delta batches (and stops in-flight match
 // workers between tasks).
 func (e *Engine) Run(ctx context.Context, edb []ast.Fact) (*Result, error) {
-	for _, f := range e.c.prog.Facts {
-		e.LoadFact(f)
-	}
-	for _, f := range edb {
-		e.LoadFact(f)
-	}
+	e.LoadProgramFacts()
+	e.LoadFacts(edb)
 	for len(e.queue) > 0 {
 		if err := ctx.Err(); err != nil {
 			return nil, err

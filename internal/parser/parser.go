@@ -98,6 +98,7 @@ func (p *parser) statement(prog *ast.Program) error {
 
 // annotation := '@' ident '(' literal {',' literal} ')' '.'
 func (p *parser) annotation(prog *ast.Program) error {
+	at := p.tok                         // position of '@', recorded on bindings/mappings for compile errors
 	if err := p.advance(); err != nil { // consume @
 		return err
 	}
@@ -147,8 +148,18 @@ func (p *parser) annotation(prog *ast.Program) error {
 		}
 		prog.Outputs[s] = true
 	case "bind", "qbind":
-		if len(args) != 3 {
-			return p.errorf("@%s expects (predicate, driver, target)", name.text)
+		// @bind(pred, driver, target) attaches a record manager;
+		// @qbind(pred, driver, target, query) additionally pushes the
+		// query — a constant selection like "$2 > 10" — into the source.
+		want := 3
+		if name.text == "qbind" {
+			want = 4
+		}
+		if len(args) != want {
+			if want == 4 {
+				return p.errorf("@qbind expects (predicate, driver, target, query)")
+			}
+			return p.errorf("@bind expects (predicate, driver, target)")
 		}
 		pred, err := strArg(0)
 		if err != nil {
@@ -162,7 +173,16 @@ func (p *parser) annotation(prog *ast.Program) error {
 		if err != nil {
 			return err
 		}
-		prog.Bindings = append(prog.Bindings, ast.Binding{Pred: pred, Driver: driver, Target: target})
+		b := ast.Binding{Pred: pred, Driver: driver, Target: target, Line: at.line, Col: at.col}
+		if name.text == "qbind" {
+			if b.Query, err = strArg(3); err != nil {
+				return err
+			}
+			if b.Query == "" {
+				return p.errorf("@qbind: empty query (use @bind for unconditional bindings)")
+			}
+		}
+		prog.Bindings = append(prog.Bindings, b)
 	case "mapping":
 		if len(args) < 2 {
 			return p.errorf("@mapping expects (predicate, col1, ...)")
@@ -179,7 +199,7 @@ func (p *parser) annotation(prog *ast.Program) error {
 			}
 			cols = append(cols, c)
 		}
-		prog.Mappings = append(prog.Mappings, ast.Mapping{Pred: pred, Columns: cols})
+		prog.Mappings = append(prog.Mappings, ast.Mapping{Pred: pred, Columns: cols, Line: at.line, Col: at.col})
 	case "post":
 		if len(args) < 2 {
 			return p.errorf("@post expects (predicate, kind [, arg])")

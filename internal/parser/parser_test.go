@@ -106,6 +106,48 @@ func TestParseAnnotations(t *testing.T) {
 	if len(prog.Mappings) != 1 || len(prog.Mappings[0].Columns) != 3 {
 		t.Errorf("mappings: %v", prog.Mappings)
 	}
+	if prog.Bindings[0].Query != "" {
+		t.Errorf("@bind grew a query: %q", prog.Bindings[0].Query)
+	}
+	if prog.Bindings[0].Line != 4 || prog.Mappings[0].Line != 6 {
+		t.Errorf("positions: bind %d:%d mapping %d:%d",
+			prog.Bindings[0].Line, prog.Bindings[0].Col, prog.Mappings[0].Line, prog.Mappings[0].Col)
+	}
+}
+
+func TestParseQbind(t *testing.T) {
+	prog, err := Parse(`
+		@qbind("own","csv","/tmp/own.csv","$3 > 0.5").
+		own(X,Y,W) -> control(X,Y).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Bindings) != 1 {
+		t.Fatalf("bindings: %v", prog.Bindings)
+	}
+	b := prog.Bindings[0]
+	if b.Query != "$3 > 0.5" || b.Driver != "csv" || b.Pred != "own" {
+		t.Errorf("qbind binding: %+v", b)
+	}
+	// The query argument is mandatory and distinct from @bind.
+	for _, bad := range []string{
+		`@qbind("own","csv","/tmp/own.csv").`,
+		`@qbind("own","csv","/tmp/own.csv","").`,
+		`@bind("own","csv","/tmp/own.csv","$1 > 0").`,
+	} {
+		if _, err := Parse(bad + "\nown(X,Y,W) -> control(X,Y)."); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+	// The rendered program re-parses with the query intact.
+	re, err := Parse(prog.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if len(re.Bindings) != 1 || re.Bindings[0].Query != "$3 > 0.5" {
+		t.Errorf("reparse bindings: %+v", re.Bindings)
+	}
 }
 
 func TestParseFacts(t *testing.T) {

@@ -154,6 +154,18 @@ func (s *Session) Load(facts ...ast.Fact) {
 	}
 }
 
+// LoadChunk admits one chunk of EDB facts and then reports any pending
+// cancellation — the streaming-load entry point: record managers feed
+// their cursors through it instead of materializing the whole source
+// into one slice. The chunk is always admitted before the context is
+// consulted, so a chunk already pulled from a cursor is never dropped
+// (the caller stops before pulling the next one); duplicates are
+// skipped, so re-feeding after an interrupted load stays idempotent.
+func (s *Session) LoadChunk(ctx context.Context, facts []ast.Fact) error {
+	s.Load(facts...)
+	return ctx.Err()
+}
+
 func (s *Session) insertTagTwin(f ast.Fact) {
 	twin, ok := s.c.rw.TagPreds[f.Pred]
 	if !ok {

@@ -1,0 +1,84 @@
+package source
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/term"
+)
+
+// ParseCell parses the textual form of one record cell into a typed
+// value. It extends term.ParseLiteral with the rendered forms of the
+// remaining kinds so that EncodeCell∘ParseCell is the identity: "dN" is
+// a date, "_:nK" a labelled null, "{...}" a set; quoted cells are
+// strings, and anything unparseable falls back to a string (the
+// historical CSV behavior).
+func ParseCell(s string) term.Value {
+	if v, ok := parseTaggedCell(s); ok {
+		return v
+	}
+	v, err := term.ParseLiteral(s)
+	if err != nil {
+		return term.String(s)
+	}
+	return v
+}
+
+func parseTaggedCell(s string) (term.Value, bool) {
+	switch {
+	case len(s) >= 2 && s[0] == 'd' && allDigits(s[1:]):
+		n, err := strconv.ParseInt(s[1:], 10, 64)
+		if err != nil {
+			return term.Value{}, false
+		}
+		return term.Date(n), true
+	case len(s) > 3 && strings.HasPrefix(s, "_:n") && allDigits(s[3:]):
+		n, err := strconv.ParseInt(s[3:], 10, 64)
+		if err != nil {
+			return term.Value{}, false
+		}
+		return term.Null(n), true
+	case len(s) >= 2 && s[0] == '{' && s[len(s)-1] == '}':
+		return term.ParseCanonicalSet(s)
+	}
+	return term.Value{}, false
+}
+
+func allDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// EncodeCell renders v so that ParseCell(EncodeCell(v)) == v for every
+// value kind: strings are written bare when re-reading bare gives the
+// same string back and Vadalog-quoted otherwise (a string "42" must not
+// come back as the integer 42); integral floats keep an explicit ".0" so
+// they cannot collide with the equal int's rendering; the other kinds
+// use their canonical textual form, which ParseCell recognizes.
+func EncodeCell(v term.Value) string {
+	switch v.Kind() {
+	case term.KindString:
+		s := v.Str()
+		if rt := ParseCell(s); rt.Kind() == term.KindString && rt.Str() == s {
+			return s
+		}
+		return strconv.Quote(s)
+	case term.KindFloat:
+		f := v.FloatVal()
+		s := strconv.FormatFloat(f, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") && !math.IsNaN(f) && !math.IsInf(f, 0) {
+			s += ".0"
+		}
+		return s
+	default:
+		return v.String()
+	}
+}

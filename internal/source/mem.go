@@ -1,0 +1,171 @@
+package source
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/term"
+)
+
+// Mem is the in-memory record manager behind the "mem" driver: the Go
+// API stores rows — or a lazy row iterator — under a table name, and
+// @bind("p","mem","name") serves them to the engines. It is a Source, a
+// Sink and a PushdownSource, and is safe for concurrent use: concurrent
+// sessions each scan a consistent snapshot of the stored rows.
+//
+// The process-global instance is DefaultMem (registry name "mem");
+// per-Reasoner instances can be injected through the compile options to
+// keep data private to one program.
+type Mem struct {
+	mu     sync.RWMutex
+	tables map[string]*memTable
+}
+
+type memTable struct {
+	cols []string
+	rows [][]term.Value
+
+	// feed is an optional lazy iterator; pulls are serialized by mu and
+	// the yielded rows are appended to rows, so the table converges to a
+	// materialized snapshot however many cursors raced over it.
+	feedMu   sync.Mutex
+	feed     func() ([]term.Value, bool)
+	feedDone bool
+}
+
+// NewMem returns an empty in-memory driver.
+func NewMem() *Mem { return &Mem{tables: make(map[string]*memTable)} }
+
+// Store replaces table name with the given positional rows.
+func (m *Mem) Store(name string, rows [][]term.Value) {
+	m.StoreColumns(name, nil, rows)
+}
+
+// StoreColumns replaces table name with rows whose positions are named
+// by cols, enabling @mapping projections over the table.
+func (m *Mem) StoreColumns(name string, cols []string, rows [][]term.Value) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tables[name] = &memTable{cols: cols, rows: rows}
+}
+
+// StoreFunc replaces table name with a lazy row iterator: next is pulled
+// until it reports false, the first time a cursor needs the rows. Pulls
+// are serialized; the yielded rows are retained so later scans see the
+// same data.
+func (m *Mem) StoreFunc(name string, next func() ([]term.Value, bool)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tables[name] = &memTable{feed: next}
+}
+
+// Rows returns a snapshot of table name's rows (nil when absent) — the
+// readback path for @bind'ed outputs written through the mem sink.
+func (m *Mem) Rows(name string) [][]term.Value {
+	m.mu.RLock()
+	t, ok := m.tables[name]
+	m.mu.RUnlock()
+	if !ok {
+		return nil
+	}
+	t.materialize()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([][]term.Value, len(t.rows))
+	copy(out, t.rows)
+	return out
+}
+
+// materialize drains the table's lazy feed into rows, exactly once.
+func (t *memTable) materialize() {
+	t.feedMu.Lock()
+	defer t.feedMu.Unlock()
+	if t.feed == nil || t.feedDone {
+		return
+	}
+	for {
+		row, ok := t.feed()
+		if !ok {
+			break
+		}
+		t.rows = append(t.rows, row)
+	}
+	t.feedDone = true
+}
+
+// Pushdown reports that the driver applies both selections and
+// projections natively. Projection capability is a property of the
+// driver, not of the bound table's current state: Open reports the
+// accurate data-level error (absent table, unnamed columns) when a
+// mapped scan cannot actually resolve.
+func (m *Mem) Pushdown(Binding) Pushdown { return Pushdown{Query: true, Columns: true} }
+
+// Open starts a scan over a snapshot of table b.Target.
+func (m *Mem) Open(_ context.Context, b Binding) (RecordCursor, error) {
+	m.mu.RLock()
+	t, ok := m.tables[b.Target]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("source: mem table %q not stored (Store/StoreFunc it before running)", b.Target)
+	}
+	t.materialize()
+	var proj []int
+	if len(b.Columns) > 0 {
+		var err error
+		if proj, err = resolveColumns(t.cols, b.Columns, "mem table "+b.Target); err != nil {
+			return nil, err
+		}
+	}
+	m.mu.RLock()
+	rows := t.rows[:len(t.rows):len(t.rows)]
+	m.mu.RUnlock()
+	return &memCursor{rows: rows, proj: proj, q: b.Query, table: b.Target}, nil
+}
+
+type memCursor struct {
+	rows  [][]term.Value
+	proj  []int
+	q     *Query
+	table string
+	pos   int
+}
+
+func (c *memCursor) Next(ctx context.Context) ([][]term.Value, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err // nothing consumed: the cursor stays resumable
+	}
+	out := make([][]term.Value, 0, ChunkSize)
+	for c.pos < len(c.rows) && len(out) < ChunkSize {
+		row := c.rows[c.pos]
+		c.pos++
+		if c.proj != nil {
+			prow := make([]term.Value, len(c.proj))
+			for j, i := range c.proj {
+				if i >= len(row) {
+					return nil, fmt.Errorf("source: mem table %q row %v misses column %d", c.table, row, i+1)
+				}
+				prow[j] = row[i]
+			}
+			row = prow
+		}
+		if c.q != nil && !c.q.Matches(row) {
+			continue
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func (c *memCursor) Close() error { return nil }
+
+// WriteAll replaces table b.Target with rows (the mem sink). The written
+// table is positional; read it back with Rows or a positional binding.
+func (m *Mem) WriteAll(_ context.Context, b Binding, rows [][]term.Value) error {
+	snap := make([][]term.Value, len(rows))
+	copy(snap, rows)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tables[b.Target] = &memTable{rows: snap}
+	return nil
+}

@@ -1,0 +1,64 @@
+package source
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+var (
+	regMu   sync.RWMutex
+	drivers = make(map[string]Driver)
+)
+
+// Register makes a record-manager driver available to @bind/@qbind
+// annotations under name, like database/sql.Register. It panics when
+// name is already taken or d is nil: registration happens once at init
+// time, and a silent overwrite would change what existing programs mean.
+func Register(name string, d Driver) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if d == nil {
+		panic("source: Register driver is nil")
+	}
+	if name == "" {
+		panic("source: Register with empty name")
+	}
+	if _, dup := drivers[name]; dup {
+		panic(fmt.Sprintf("source: Register called twice for driver %q", name))
+	}
+	drivers[name] = d
+}
+
+// Lookup resolves a registered driver by name.
+func Lookup(name string) (Driver, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	d, ok := drivers[name]
+	return d, ok
+}
+
+// DriverNames returns the sorted names of all registered drivers (error
+// messages, CLI help).
+func DriverNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(drivers))
+	for name := range drivers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DefaultMem is the process-global in-memory driver registered as "mem":
+// the Go API stores rows or iterators in it by name and @bind'ed
+// programs read them back.
+var DefaultMem = NewMem()
+
+func init() {
+	Register("csv", CSV{Comma: ','})
+	Register("tsv", CSV{Comma: '\t'})
+	Register("jsonl", JSONL{})
+	Register("mem", DefaultMem)
+}

@@ -393,6 +393,15 @@ func (nf *NullFactory) Fresh() Value {
 // Count returns how many nulls have been minted so far.
 func (nf *NullFactory) Count() int64 { return nf.next - 1 }
 
+// Reserve advances the factory past id, so nulls imported with explicit
+// ids (record-manager loads of "_:nK" cells) can never collide with
+// nulls the session mints afterwards.
+func (nf *NullFactory) Reserve(id int64) {
+	if id >= nf.next {
+		nf.next = id + 1
+	}
+}
+
 // SkolemKey renders the canonical ground key of fn applied to args; two
 // Skolem applications yield equal nulls iff their keys are equal.
 func (nf *NullFactory) SkolemKey(fn string, args ...Value) string {
@@ -458,6 +467,18 @@ func ParseLiteral(s string) (Value, error) {
 		return Float(f), nil
 	}
 	return String(s), nil
+}
+
+// ParseCanonicalSet parses the braced "{...}" rendering of a set value
+// (the form Value.String produces) back into a set, re-canonicalizing
+// the elements so the result is == to the set that was rendered. ok is
+// false when s is not braced.
+func ParseCanonicalSet(s string) (Value, bool) {
+	if len(s) < 2 || s[0] != '{' || s[len(s)-1] != '}' {
+		return Value{}, false
+	}
+	raw := Value{kind: KindSet, s: s}
+	return Set(raw.SetElems()), true
 }
 
 // SortValues sorts a slice of values in the total order of Compare.

@@ -4,10 +4,71 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"sort"
 
 	"repro/vadalog"
 )
+
+// ExampleRegisterDriver binds a predicate to the built-in in-memory
+// record manager: the Go API stores rows under a table name, the
+// program @binds them, and a custom driver could be plugged in the same
+// way (RegisterDriver for process-wide, Options.RegisterDriver for
+// per-program drivers).
+func ExampleRegisterDriver() {
+	mem := vadalog.DefaultMem() // registered as driver "mem"
+	mem.Store("ownership", [][]vadalog.Value{
+		{vadalog.Str("a"), vadalog.Str("b"), vadalog.Flt(0.6)},
+		{vadalog.Str("b"), vadalog.Str("c"), vadalog.Flt(0.2)},
+	})
+	prog := vadalog.MustParse(`
+		own(X,Y,W), W > 0.5 -> control(X,Y).
+		@output("control").
+		@bind("own","mem","ownership").
+	`)
+	res, err := vadalog.MustCompile(prog, nil).Query(context.Background(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range res.Output("control") {
+		fmt.Println(f)
+	}
+	// Output:
+	// control(a,b)
+}
+
+// ExampleCompile_qbind pushes a query binding into the record manager:
+// the @qbind selection "$2 > 10" is evaluated inside the csv driver (or
+// post-filtered for drivers without pushdown), so non-matching rows
+// never reach the reasoning engine.
+func ExampleCompile_qbind() {
+	dir, err := os.MkdirTemp("", "vadalog-qbind")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "m.csv")
+	if err := os.WriteFile(path, []byte("a,5\nb,11\nc,20\n"), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	prog := vadalog.MustParse(fmt.Sprintf(`
+		m(X,N) -> big(X,N).
+		@output("big").
+		@qbind("m","csv",%q,"$2 > 10").
+		@post("big","orderBy",1).
+	`, path))
+	res, err := vadalog.MustCompile(prog, nil).Query(context.Background(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range res.Output("big") {
+		fmt.Println(f)
+	}
+	// Output:
+	// big(b,11)
+	// big(c,20)
+}
 
 // ExampleCompile shows the compile-once serving pattern: the program is
 // analyzed, rewritten and planned a single time, then the shared Reasoner

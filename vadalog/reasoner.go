@@ -25,10 +25,11 @@ var ErrNotRun = errors.New("vadalog: session has not been run")
 // Query, NewSession or Stream, each of which spins up cheap per-request
 // runtime state (database, interner, termination strategy, buffers).
 type Reasoner struct {
-	opts Options
-	prog *ast.Program
-	plc  *pipeline.Compiled
-	chc  *chase.Compiled
+	opts  Options
+	prog  *ast.Program
+	plc   *pipeline.Compiled
+	chc   *chase.Compiled
+	binds []boundIO // @bind/@qbind annotations resolved against the driver registry
 }
 
 // Compile compiles prog into a shareable Reasoner. opts == nil selects
@@ -40,6 +41,14 @@ func Compile(prog *Program, opts *Options) (*Reasoner, error) {
 		o = *opts
 	}
 	r := &Reasoner{opts: o, prog: prog}
+	// Bindings are part of the compiled artifact: unknown drivers,
+	// malformed @qbind queries and arity-mismatched @mapping projections
+	// are compile errors, not run errors.
+	binds, err := resolveBindings(prog, o.Drivers)
+	if err != nil {
+		return nil, err
+	}
+	r.binds = binds
 	var rw *rewrite.Options
 	if o.DisableRewriting {
 		rw = &rewrite.Options{}
@@ -93,7 +102,7 @@ func MustCompile(prog *Program, opts *Options) *Reasoner {
 // compiled program. Sessions are cheap (no analysis, rewriting or rule
 // compilation happens); each is for use by a single goroutine.
 func (r *Reasoner) NewSession() *Session {
-	s := &Session{opts: r.opts, prog: r.prog}
+	s := &Session{opts: r.opts, prog: r.prog, binds: r.binds}
 	if r.plc != nil {
 		s.pl = r.plc.NewSession()
 	} else {

@@ -125,6 +125,23 @@ type Options struct {
 	// database. The streaming pipeline engine is a single-goroutine pull
 	// machine and ignores this option.
 	Parallelism int
+	// Drivers overlays the process-global record-manager registry for
+	// programs compiled with these options: @bind/@qbind driver names
+	// resolve through Drivers first, then through the registry
+	// (RegisterDriver / source.Register). Use the RegisterDriver method
+	// to populate it.
+	Drivers map[string]Driver
+}
+
+// RegisterDriver makes d available to programs compiled with these
+// options under name, shadowing any registry driver of the same name.
+// It returns o for chaining.
+func (o *Options) RegisterDriver(name string, d Driver) *Options {
+	if o.Drivers == nil {
+		o.Drivers = make(map[string]Driver)
+	}
+	o.Drivers[name] = d
+	return o
 }
 
 // ErrInconsistent is returned when a negative constraint fires or an EGD
@@ -152,8 +169,17 @@ type Session struct {
 	ch      *chase.Engine
 	chRes   *chase.Result
 	pending []ast.Fact
-	loaded  bool // @bind'ed inputs have been read (exactly once)
 	ran     bool
+
+	// Streaming-load state: the compile-time-resolved bindings shared
+	// with the Reasoner, the index of the input binding currently being
+	// drained, its open cursor (kept across a cancelled load so the
+	// session resumes where it stopped), and the done flags.
+	binds      []boundIO
+	bindIdx    int
+	cur        RecordCursor
+	loaded     bool // every @bind'ed input has been drained (exactly once)
+	progLoaded bool // inline program facts admitted ahead of bound inputs
 }
 
 // NewSession compiles prog and opens a session over it in one step (the
@@ -183,8 +209,18 @@ func policyFactory(p Policy) (func(*analysis.Result) core.Policy, bool) {
 	}
 }
 
-// Load stages facts for the run.
+// Load stages facts for the run. Labelled nulls among the facts (e.g.
+// "_:nK" cells materialized by ReadCSV) reserve their ids in the
+// session's null factory, so nulls the run mints never collide with
+// loaded ones.
 func (s *Session) Load(facts ...Fact) {
+	for _, f := range facts {
+		for _, v := range f.Args {
+			if v.IsNull() {
+				s.nulls().Reserve(v.NullID())
+			}
+		}
+	}
 	if s.pl != nil && s.ran {
 		s.pl.Load(facts...) // incremental load into a running pipeline
 		return
@@ -192,19 +228,21 @@ func (s *Session) Load(facts ...Fact) {
 	s.pending = append(s.pending, facts...)
 }
 
-// Run executes the reasoning task to completion: it loads any @bind'ed
-// CSV inputs and the staged facts, drains the engine, enforces
-// constraints and EGDs, and writes @bind'ed outputs. It is equivalent to
-// RunContext with a background context.
+// Run executes the reasoning task to completion: it streams any
+// @bind'ed inputs and the staged facts into the engine, drains it,
+// enforces constraints and EGDs, and writes @bind'ed outputs. It is
+// equivalent to RunContext with a background context.
 func (s *Session) Run() error { return s.RunContext(context.Background()) }
 
 // RunContext is Run with cancellation: cancelling ctx aborts the
-// reasoning fixpoint between rule firings and returns ctx's error.
-// Bound inputs and staged facts are loaded exactly once per session; a
-// second call only resumes the engine (a no-op unless facts were loaded
-// in between).
+// streaming load between chunks or the reasoning fixpoint between rule
+// firings and returns ctx's error; the session stays consistent and a
+// later call with a live context resumes (an interrupted load continues
+// at its cursor, losing and re-reading nothing). Bound inputs and staged
+// facts are loaded exactly once per session; further calls only resume
+// the engine (a no-op unless facts were loaded in between).
 func (s *Session) RunContext(ctx context.Context) error {
-	if err := s.stage(); err != nil {
+	if err := s.stage(ctx); err != nil {
 		return err
 	}
 	facts := s.pending
@@ -222,23 +260,7 @@ func (s *Session) RunContext(ctx context.Context) error {
 		}
 		s.chRes = res
 	}
-	return s.writeBoundOutputs()
-}
-
-// stage reads the @bind'ed input sources and prepends them to the staged
-// facts — exactly once per session, however many times Run or Stream are
-// invoked afterwards.
-func (s *Session) stage() error {
-	if s.loaded {
-		return nil
-	}
-	bound, err := loadBoundInputs(s.prog)
-	if err != nil {
-		return err
-	}
-	s.loaded = true
-	s.pending = append(bound, s.pending...)
-	return nil
+	return s.writeBoundOutputs(ctx)
 }
 
 func mapErr(err error) error {
@@ -300,11 +322,10 @@ func (s *Session) Facts(ctx context.Context, pred string) iter.Seq2[Fact, error]
 	return func(yield func(Fact, error) bool) {
 		if s.pl != nil {
 			if !s.ran {
-				if err := s.stage(); err != nil {
+				if err := s.stage(ctx); err != nil {
 					yield(Fact{}, err)
 					return
 				}
-				s.pl.LoadProgramFacts()
 				s.pl.Load(s.pending...)
 				s.pending = nil
 				s.ran = true
@@ -346,10 +367,9 @@ func (s *Session) Facts(ctx context.Context, pred string) iter.Seq2[Fact, error]
 func (s *Session) Stream(pred string) func() (Fact, bool, error) {
 	if s.pl != nil {
 		if !s.ran {
-			if err := s.stage(); err != nil {
+			if err := s.stage(context.Background()); err != nil {
 				return func() (Fact, bool, error) { return Fact{}, false, err }
 			}
-			s.pl.LoadProgramFacts()
 			s.pl.Load(s.pending...)
 			s.pending = nil
 			s.ran = true
