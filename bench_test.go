@@ -44,9 +44,21 @@ func benchScale() float64 {
 	return 0.01
 }
 
+// benchNoPlan reports whether REPRO_BENCH_NOPLAN asked for the
+// planner-off ablation run (the before/after switch for BENCH records).
+func benchNoPlan() bool { return os.Getenv("REPRO_BENCH_NOPLAN") != "" }
+
 // runOnce executes one reasoning task and reports facts/sec-style metrics.
 func runOnce(b *testing.B, src string, facts []ast.Fact, outPred string, opts *vadalog.Options) {
 	b.Helper()
+	if benchNoPlan() {
+		o := vadalog.Options{}
+		if opts != nil {
+			o = *opts
+		}
+		o.DisablePlanner = true
+		opts = &o
+	}
 	prog, err := vadalog.Parse(src)
 	if err != nil {
 		b.Fatal(err)
@@ -412,6 +424,51 @@ func BenchmarkFig8d_Arity(b *testing.B) {
 	}
 }
 
+// BenchmarkAblation_SkewJoin isolates the cost-based join planner on a
+// skewed join chain: src(X,K), wide(X,W), narrow(W,Z) -> out(K,Z), where
+// wide fans out 1000 rows per X and narrow holds one row per X. The
+// static schedule's bound-count ordering ties wide against narrow and the
+// source-order tie-break enumerates the wide side first (1000-row
+// intermediates per delta, 500-row src buckets per wide delta); the
+// planner's distinct-ID estimates join the narrow side first and the
+// intermediates collapse to ~1 row. Same bytes either way — only the
+// enumeration order changes.
+func BenchmarkAblation_SkewJoin(b *testing.B) {
+	const (
+		xs      = 10   // distinct X values
+		fanout  = 1000 // wide rows per X
+		srcPerX = 500  // src rows per X
+	)
+	src := `
+		src(X,K), wide(X,W), narrow(W,Z) -> out(K,Z).
+		@output("out").
+	`
+	var facts []ast.Fact
+	for x := 0; x < xs; x++ {
+		for k := 0; k < srcPerX; k++ {
+			facts = append(facts, ast.NewFact("src", term.Int(int64(x)), term.Int(int64(x*srcPerX+k))))
+		}
+		for j := 0; j < fanout; j++ {
+			facts = append(facts, ast.NewFact("wide", term.Int(int64(x)), term.Int(int64(x*fanout+j))))
+		}
+		// One narrow row per X, keyed on a W the wide side contains.
+		facts = append(facts, ast.NewFact("narrow", term.Int(int64(x*fanout)), term.Int(int64(x+1))))
+	}
+	for _, eng := range []struct {
+		name string
+		eng  vadalog.Engine
+	}{{"pipeline", vadalog.EnginePipeline}, {"chase", vadalog.EngineChase}} {
+		for _, plan := range []bool{true, false} {
+			opts := vadalog.Options{Engine: eng.eng, DisablePlanner: !plan}
+			b.Run(fmt.Sprintf("%s/plan=%v", eng.name, plan), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					runOnce(b, src, facts, "out", &opts)
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkAblation_DynamicIndex isolates the slot machine join's dynamic
 // indexing.
 func BenchmarkAblation_DynamicIndex(b *testing.B) {
@@ -719,7 +776,8 @@ func BenchmarkScenario_IWarded(b *testing.B) {
 		}
 	})
 	b.Run("chase", func(b *testing.B) {
-		r, err := vadalog.Compile(vadalog.MustParse(g.Source), &vadalog.Options{Engine: vadalog.EngineChase})
+		r, err := vadalog.Compile(vadalog.MustParse(g.Source),
+			&vadalog.Options{Engine: vadalog.EngineChase, DisablePlanner: benchNoPlan()})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -15,6 +15,11 @@
 //	-max N                     derivation budget
 //	-parallel N                chase match workers (0 = GOMAXPROCS,
 //	                           1 = single-threaded; results are identical)
+//	-noplan                    disable the cost-based join planner
+//	                           (static schedules; results are identical)
+//	-explain                   after the run, print the access plan with
+//	                           the chosen join orders and their estimates
+//	                           to stderr
 //	-facts pred=file.csv       extra CSV input (repeatable)
 //	-bind pred=driver:target   override (or add) a predicate's binding
 //	                           without editing the program (repeatable),
@@ -144,6 +149,8 @@ func cmdRun(args []string) {
 	policy := fs.String("policy", "full", "full|nosummary|trivial|restricted|skolem")
 	maxDer := fs.Int("max", 0, "derivation budget (0 = default)")
 	parallel := fs.Int("parallel", 0, "chase match workers (0 = GOMAXPROCS, 1 = single-threaded)")
+	noplan := fs.Bool("noplan", false, "disable the cost-based join planner")
+	explain := fs.Bool("explain", false, "print the access plan with chosen join orders after the run")
 	var extraFacts, printPreds, bindOverrides multiFlag
 	fs.Var(&extraFacts, "facts", "pred=file.csv extra input (repeatable)")
 	fs.Var(&printPreds, "print", "predicate to print (repeatable)")
@@ -159,7 +166,7 @@ func cmdRun(args []string) {
 		}
 	}
 
-	opts := &vadalog.Options{MaxDerivations: *maxDer, Parallelism: *parallel}
+	opts := &vadalog.Options{MaxDerivations: *maxDer, Parallelism: *parallel, DisablePlanner: *noplan}
 	switch *engine {
 	case "pipeline":
 		opts.Engine = vadalog.EnginePipeline
@@ -204,9 +211,19 @@ func cmdRun(args []string) {
 	// Ctrl-C cancels the reasoning fixpoint instead of killing the process.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	res, err := reasoner.Query(ctx, facts)
+	// Drive a session directly (rather than Query) so -explain can render
+	// the plans against the statistics the run actually converged on.
+	sess := reasoner.NewSession()
+	sess.Load(facts...)
+	if err := sess.RunContext(ctx); err != nil {
+		fatal(err)
+	}
+	res, err := sess.Result()
 	if err != nil {
 		fatal(err)
+	}
+	if *explain {
+		fmt.Fprint(os.Stderr, sess.Explain())
 	}
 
 	preds := []string(printPreds)

@@ -27,6 +27,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/planner"
 	"repro/internal/rewrite"
 	"repro/internal/storage"
 	"repro/internal/term"
@@ -67,6 +68,11 @@ type Options struct {
 	// epoch; candidate facts are always admitted serially in canonical
 	// order, so every setting produces a byte-identical final database.
 	Parallelism int
+	// DisablePlanner turns off the cost-based join planner and its CSE
+	// body sharing: every firing runs the static bound-count schedule
+	// compiled into the rule. Candidates are still admitted in canonical
+	// order, so output is byte-identical with the planner on or off.
+	DisablePlanner bool
 }
 
 // Result is the outcome of a reasoning run.
@@ -111,7 +117,23 @@ type Compiled struct {
 	// firings are evaluated inline on the serial admit path instead.
 	parSafe []bool
 
+	// CSE body sharing (planner enabled only): rules whose positive
+	// bodies are identical under canonical slot renaming form a group per
+	// pinned position; one shared match-only cursor enumerates the body
+	// per delta and every member replays its private post-match steps.
+	groups    []cseGroup
+	groupOf   map[[2]int]int // (rule idx, pinned pos) -> group idx
+	postSteps [][]eval.Step  // per rule: assign/cond replay steps (grouped rules)
+
 	budget int
+}
+
+// cseGroup is one set of rules sharing a positive body (see
+// eval.CompiledRule.BodySignature) pinned at the same atom position.
+type cseGroup struct {
+	body    *eval.CompiledRule // shared match-only twin
+	pos     int                // pinned atom index within the body
+	members [][2]int           // the (rule idx, pos) firings sharing it
 }
 
 // Compile runs rewriting, wardedness analysis and rule compilation on
@@ -172,7 +194,61 @@ func Compile(prog *ast.Program, opts Options) (*Compiled, error) {
 			c.byPred[a.Pred] = append(c.byPred[a.Pred], [2]int{i, pi})
 		}
 	}
+	if !opts.DisablePlanner {
+		c.buildCSEGroups()
+	}
 	return c, nil
+}
+
+// buildCSEGroups clusters (rule, pinned pos) firings whose positive
+// bodies coincide under canonical slot renaming. Each cluster with at
+// least two members gets a shared match-only body rule; its members get
+// their private post-match replay steps. Grouped firings enumerate the
+// body once per delta instead of once per rule — the common-subexpression
+// elimination of the paper's execution optimizer.
+func (c *Compiled) buildCSEGroups() {
+	c.groupOf = make(map[[2]int]int)
+	c.postSteps = make([][]eval.Step, len(c.rules))
+	type cluster struct {
+		leader  int
+		members [][2]int
+	}
+	byKey := make(map[string]*cluster)
+	var order []string // deterministic group numbering (source order)
+	for ri, cr := range c.rules {
+		sig, ok := cr.BodySignature()
+		if !ok || !c.parSafe[ri] {
+			continue
+		}
+		for pi := range cr.Pos {
+			key := fmt.Sprintf("%s#%d", sig, pi)
+			cl := byKey[key]
+			if cl == nil {
+				cl = &cluster{leader: ri}
+				byKey[key] = cl
+				order = append(order, key)
+			}
+			cl.members = append(cl.members, [2]int{ri, pi})
+		}
+	}
+	for _, key := range order {
+		cl := byKey[key]
+		if len(cl.members) < 2 {
+			continue
+		}
+		gid := len(c.groups)
+		c.groups = append(c.groups, cseGroup{
+			body:    c.rules[cl.leader].BodyMatcher(),
+			pos:     cl.members[0][1],
+			members: cl.members,
+		})
+		for _, m := range cl.members {
+			c.groupOf[m] = gid
+			if c.postSteps[m[0]] == nil {
+				c.postSteps[m[0]] = c.rules[m[0]].PostMatchSteps()
+			}
+		}
+	}
 }
 
 // Program returns the rewritten program the artifact executes.
@@ -213,6 +289,17 @@ type Engine struct {
 	tasks   []task
 	results []eval.BindingLog
 
+	// pl derives cost-based schedules from the frozen statistics snapshot
+	// (nil when Options.DisablePlanner). batchSteps[ti] is task ti's
+	// schedule for the current batch (nil = the static schedule); it is
+	// filled serially at the batch boundary so workers read it lock-free.
+	pl         *planner.Planner
+	batchSteps [][]eval.Step
+	planSeen   map[[2]int][]eval.Step
+	cseSeen    map[cseSeenKey]int
+	permBuf    []int32
+	shared     int // follower firings served from a shared body log
+
 	// groupBuf/contribBuf/headsBuf/parentsBuf are reused across emissions
 	// so emit allocates no per-match container slices (AggState keys copy
 	// what they keep; stored facts retain only the per-head Args slices,
@@ -224,21 +311,33 @@ type Engine struct {
 }
 
 // task is one scheduled firing: rule ri with its pos-th body atom pinned
-// to delta fact m.
+// to delta fact m. Firings of a CSE group carry the group id and the
+// index of the group's leader task for this delta: the leader enumerates
+// the shared body once, followers replay from its log.
 type task struct {
-	m   *core.FactMeta
-	ri  int
-	pos int
+	m    *core.FactMeta
+	ri   int
+	pos  int
+	g    int // CSE group, -1 when ungrouped
+	lead int // task index of the group leader for this delta, -1 ungrouped
+}
+
+// cseSeenKey identifies "this delta's firings of this group" while tasks
+// are scheduled: the first one becomes the leader.
+type cseSeenKey struct {
+	m *core.FactMeta
+	g int
 }
 
 // matchWorker is the per-goroutine match state: a snapshot Matcher (pure
-// reads against the frozen epoch), private per-rule Bindings, and the
-// (pred, mask) probes that had to scan for want of an index — promoted to
-// real indexes at the batch boundary.
+// reads against the frozen epoch), private per-rule Bindings (plus one
+// per CSE group body), and the (pred, mask) probes that had to scan for
+// want of an index — promoted to real indexes at the batch boundary.
 type matchWorker struct {
-	mt       *eval.Matcher
-	bindings []*eval.Binding
-	missed   []indexMiss
+	mt        *eval.Matcher
+	bindings  []*eval.Binding
+	gbindings []*eval.Binding
+	missed    []indexMiss
 }
 
 type indexMiss struct {
@@ -270,6 +369,11 @@ func (c *Compiled) NewEngine() *Engine {
 		e.nworkers = runtime.GOMAXPROCS(0)
 	}
 	e.mt = &eval.Matcher{DB: e.db}
+	if !c.opts.DisablePlanner {
+		e.pl = planner.New(planner.FrozenCatalog{DB: e.db})
+	}
+	e.planSeen = make(map[[2]int][]eval.Step)
+	e.cseSeen = make(map[cseSeenKey]int)
 	for _, cr := range c.rules {
 		e.bindings = append(e.bindings, eval.NewBinding(cr))
 		if cr.Rule.Aggregate != nil {
@@ -413,18 +517,32 @@ func (e *Engine) step(ctx context.Context) error {
 	batch := e.queue[:n:n]
 	e.queue = e.queue[n:]
 	e.tasks = e.tasks[:0]
+	clear(e.cseSeen)
 	for _, m := range batch {
 		if m.Retracted {
 			continue // superseded aggregate intermediate, no longer a fact
 		}
 		for _, rp := range e.c.byPred[m.Fact.Pred] {
-			e.tasks = append(e.tasks, task{m: m, ri: rp[0], pos: rp[1]})
+			t := task{m: m, ri: rp[0], pos: rp[1], g: -1, lead: -1}
+			if gid, ok := e.c.groupOf[rp]; ok {
+				t.g = gid
+				key := cseSeenKey{m: m, g: gid}
+				if li, seen := e.cseSeen[key]; seen {
+					t.lead = li
+				} else {
+					t.lead = len(e.tasks)
+					e.cseSeen[key] = t.lead
+				}
+			}
+			e.tasks = append(e.tasks, t)
 		}
 	}
 	if len(e.tasks) == 0 {
 		return nil
 	}
 	e.overflow.Store(false)
+	e.db.Freeze()
+	e.planBatch()
 	e.matchBatch(ctx)
 	if e.overflow.Load() {
 		// The batch buffered more candidates than the meter's runaway
@@ -449,13 +567,57 @@ func (e *Engine) step(ctx context.Context) error {
 	return nil
 }
 
-// matchBatch runs the read-only match phase: the database is frozen (all
-// dynamic indexes extended to cover every stored row) and the batch's
-// parallel-safe tasks are matched by nworkers goroutines pulling task
-// indexes off a shared counter. With one worker the phase runs inline on
-// the calling goroutine — same algorithm, no pool.
+// planBatch derives (or revalidates) the schedule of every distinct
+// firing shape in the batch against the statistics snapshot the Freeze
+// just captured, presizing planned probe indexes while mutation is still
+// safe. It runs serially between Freeze and worker fan-out, so workers
+// read batchSteps lock-free and every worker plans against the same
+// numbers it matches against. With the planner disabled batchSteps stays
+// nil and every firing runs its static schedule.
+func (e *Engine) planBatch() {
+	if cap(e.batchSteps) < len(e.tasks) {
+		e.batchSteps = make([][]eval.Step, len(e.tasks))
+	}
+	e.batchSteps = e.batchSteps[:len(e.tasks)]
+	for ti := range e.batchSteps {
+		e.batchSteps[ti] = nil
+	}
+	if e.pl == nil {
+		return
+	}
+	clear(e.planSeen)
+	for ti := range e.tasks {
+		t := &e.tasks[ti]
+		if !e.c.parSafe[t.ri] || (t.lead >= 0 && t.lead != ti) {
+			continue // inline firings keep the static schedule; followers share
+		}
+		key := [2]int{t.ri, t.pos}
+		cr := e.c.rules[t.ri]
+		if t.lead == ti {
+			key = [2]int{-1 - t.g, t.pos}
+			cr = e.c.groups[t.g].body
+		}
+		steps, ok := e.planSeen[key]
+		if !ok {
+			plan := e.pl.PlanFor(cr, t.pos)
+			for _, pr := range plan.Probes {
+				if rel := e.db.Lookup(pr.Pred); rel != nil {
+					rel.EnsureIndexSized(pr.Mask, pr.Keys)
+				}
+			}
+			steps = plan.Steps
+			e.planSeen[key] = steps
+		}
+		e.batchSteps[ti] = steps
+	}
+}
+
+// matchBatch runs the read-only match phase: the batch's parallel-safe
+// tasks are matched against the epoch step just froze by nworkers
+// goroutines pulling task indexes off a shared counter. With one worker
+// the phase runs inline on the calling goroutine — same algorithm, no
+// pool.
 func (e *Engine) matchBatch(ctx context.Context) {
-	e.db.Freeze()
 	if cap(e.results) < len(e.tasks) {
 		e.results = make([]eval.BindingLog, len(e.tasks))
 	}
@@ -520,11 +682,27 @@ func (e *Engine) matchTask(w *matchWorker, ti int) {
 	if !e.c.parSafe[t.ri] {
 		return // evaluated inline on the serial admit path
 	}
+	if t.lead >= 0 && t.lead != ti {
+		return // follower: replays the leader's shared body log at admit
+	}
 	cr := e.c.rules[t.ri]
+	b := w.bindings[t.ri]
+	reserve := 1
+	if t.lead == ti {
+		// Leader of a CSE group: enumerate the shared body once; every
+		// member admits each candidate, so reserve for all of them.
+		cr = e.c.groups[t.g].body
+		b = w.gbindings[t.g]
+		reserve = len(e.c.groups[t.g].members)
+	}
+	steps := e.batchSteps[ti]
+	if steps == nil {
+		steps = cr.Schedule(t.pos)
+	}
 	lg := &e.results[ti]
 	lg.Reset(cr)
-	if err := w.mt.MatchPinned(cr, t.pos, t.m, w.bindings[t.ri], func(b *eval.Binding) error {
-		if !e.meter.Reserve(1) {
+	if err := w.mt.MatchPinnedSteps(cr, t.pos, t.m, steps, b, func(b *eval.Binding) error {
+		if !e.meter.Reserve(reserve) {
 			e.overflow.Store(true)
 			return errBatchOverflow
 		}
@@ -544,8 +722,12 @@ var errBatchOverflow = errors.New("chase: batch candidate buffer overflow")
 // order through the serial emit path: aggregation state, EGD unification,
 // existential instantiation and admission all happen here, on the calling
 // goroutine, so the database evolves identically for every worker count.
-// A task's captured error surfaces after its captured prefix — exactly
-// where the serial enumeration would have stopped.
+// Within a task, candidates are admitted in the canonical order of their
+// matched source rows (eval.BindingLog.CanonicalOrder), which depends
+// only on what matched — never on the join order that found it — so the
+// database also evolves identically for every plan choice. A task's
+// captured error surfaces after its captured candidates — deterministic,
+// since the canonical order is.
 func (e *Engine) admitBatch(ctx context.Context) error {
 	for ti := range e.tasks {
 		if err := ctx.Err(); err != nil {
@@ -567,10 +749,29 @@ func (e *Engine) admitBatch(ctx context.Context) error {
 			continue
 		}
 		lg := &e.results[ti]
+		if t.lead >= 0 && t.lead != ti {
+			lg = &e.results[t.lead]
+			e.shared++
+		}
 		b := e.bindings[t.ri]
-		for i := 0; i < lg.Len(); i++ {
-			lg.Restore(i, e.db.Interner(), b)
-			if err := e.emit(t.ri, cr, b); err != nil {
+		perm := lg.CanonicalOrder(e.permBuf)
+		e.permBuf = perm
+		ri := t.ri
+		var replayEmit func(b *eval.Binding) error
+		if t.g >= 0 {
+			replayEmit = func(b *eval.Binding) error { return e.emit(ri, cr, b) }
+		}
+		for _, i := range perm {
+			lg.Restore(int(i), e.db.Interner(), b)
+			if t.g >= 0 {
+				// Group member: the log holds the shared body match; replay
+				// this rule's private assignments and conditions, then emit.
+				if err := e.mt.Replay(cr, e.c.postSteps[ri], b, replayEmit); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := e.emit(ri, cr, b); err != nil {
 				return err
 			}
 		}
@@ -595,23 +796,40 @@ func (e *Engine) ensureWorkers(n int) {
 		for _, cr := range e.c.rules {
 			w.bindings = append(w.bindings, eval.NewBinding(cr))
 		}
+		for gi := range e.c.groups {
+			w.gbindings = append(w.gbindings, eval.NewBinding(e.c.groups[gi].body))
+		}
 		e.workers = append(e.workers, w)
 	}
 }
 
-// promoteMisses builds real dynamic indexes for every (pred, mask) a
-// snapshot probe had to scan this batch, so subsequent batches probe them
-// hashed — the slot machine join's lazy indexing, deferred to batch
-// boundaries where mutation is safe.
+// promoteMisses promotes every (pred, mask) a snapshot probe had to scan
+// this batch, so subsequent batches probe them hashed — the slot machine
+// join's lazy indexing, deferred to batch boundaries where mutation is
+// safe. Promotion goes through Relation.PromoteIndex, which records the
+// scan in the mask's usage counters and declines to rebuild a cold index
+// (one that was built before and evicted without ever serving a probe),
+// so never-paying masks stop being re-promoted every epoch.
 func (e *Engine) promoteMisses() {
 	for _, w := range e.workers {
 		for _, ms := range w.missed {
 			if rel := e.db.Lookup(ms.pred); rel != nil {
-				rel.EnsureIndex(ms.mask)
+				rel.PromoteIndex(ms.mask, 0)
 			}
 		}
 		w.missed = w.missed[:0]
 	}
+}
+
+// PlannerStats reports, for diagnostics and tests: how many plans the
+// cost-based planner derived and how many were drift-triggered
+// recomputations (0, 0 with the planner disabled), and how many firings
+// were served from a CSE-shared body enumeration.
+func (e *Engine) PlannerStats() (derives, replans, sharedFirings int) {
+	if e.pl != nil {
+		derives, replans = e.pl.Derives(), e.pl.Replans()
+	}
+	return derives, replans, e.shared
 }
 
 // fire applies rule ri with its pos-th body atom pinned to delta fact m,

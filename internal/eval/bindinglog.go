@@ -1,6 +1,8 @@
 package eval
 
 import (
+	"sort"
+
 	"repro/internal/core"
 	"repro/internal/storage"
 	"repro/internal/term"
@@ -28,6 +30,7 @@ type BindingLog struct {
 	vals    []term.Value
 	bound   []bool
 	parents []*core.FactMeta
+	rows    []int32 // matched storage rows per entry (stride npos)
 
 	// Err is the error that aborted the producing enumeration, if any; the
 	// engine surfaces it after replaying the captured prefix, which is
@@ -49,6 +52,7 @@ func (lg *BindingLog) Reset(cr *CompiledRule) {
 	lg.vals = lg.vals[:0]
 	lg.bound = lg.bound[:0]
 	lg.parents = lg.parents[:0]
+	lg.rows = lg.rows[:0]
 	lg.Err = nil
 }
 
@@ -68,12 +72,16 @@ func (lg *BindingLog) Capture(b *Binding) {
 		}
 	}
 	lg.parents = append(lg.parents, b.Parents[:lg.npos]...)
+	lg.rows = append(lg.rows, b.ParentRows[:lg.npos]...)
 	lg.n++
 }
 
 // Restore rebuilds the i-th captured binding into b (decoding through in
 // where needed). b must have been allocated for the same rule the log was
-// Reset with.
+// Reset with — or, for CSE body sharing, for a member rule whose body
+// slots coincide with the log's rule: slots past the log's stride are
+// cleared, so a wider member binding never sees a previous entry's
+// leftovers.
 func (lg *BindingLog) Restore(i int, in *storage.Interner, b *Binding) {
 	b.in = in
 	off := i * lg.nslots
@@ -85,5 +93,40 @@ func (lg *BindingLog) Restore(i int, in *storage.Interner, b *Binding) {
 			b.hasVal[s] = false
 		}
 	}
+	for s := lg.nslots; s < len(b.Bound); s++ {
+		b.Bound[s] = false
+		b.hasVal[s] = false
+	}
 	copy(b.Parents, lg.parents[i*lg.npos:(i+1)*lg.npos])
+	copy(b.ParentRows, lg.rows[i*lg.npos:(i+1)*lg.npos])
+}
+
+// CanonicalOrder appends to perm[:0] the entry indexes in canonical
+// admission order: ascending lexicographic comparison of the matched
+// storage rows in body-atom source order. The key depends only on which
+// rows matched, never on the join order that enumerated them, so every
+// plan choice — static, cost-based, or deliberately worst-case — admits
+// the same candidates in the same order, which is what keeps reasoning
+// output byte-identical across plans. Entries with equal keys are
+// identical bindings, so their relative order is immaterial.
+func (lg *BindingLog) CanonicalOrder(perm []int32) []int32 {
+	perm = perm[:0]
+	for i := 0; i < lg.n; i++ {
+		perm = append(perm, int32(i))
+	}
+	if lg.n < 2 || lg.npos < 2 {
+		return perm // ≤1 entry, or a single atom enumerated in row order
+	}
+	rows, np := lg.rows, lg.npos
+	sort.Slice(perm, func(a, b int) bool {
+		ra := rows[int(perm[a])*np : int(perm[a])*np+np]
+		rb := rows[int(perm[b])*np : int(perm[b])*np+np]
+		for k := 0; k < np; k++ {
+			if ra[k] != rb[k] {
+				return ra[k] < rb[k]
+			}
+		}
+		return false
+	})
+	return perm
 }

@@ -374,6 +374,28 @@ func (cr *CompiledRule) buildSchedules() {
 }
 
 func (cr *CompiledRule) buildSchedule(pinned int) []Step {
+	return cr.scheduleWith(pinned, nil)
+}
+
+// Schedule returns the compiled static schedule for the given pinned
+// atom (len(Pos) selects the unpinned schedule). The slice is shared;
+// callers must not modify it.
+func (cr *CompiledRule) Schedule(pinned int) []Step { return cr.schedules[pinned] }
+
+// ScheduleFor builds an execution schedule that matches the positive
+// body atoms in the given order (the non-pinned atom indexes, each
+// exactly once), interleaving assignments and conditions as soon as
+// their dependencies are bound — the same selection push-down the static
+// schedule applies. It is the seam the cost-based planner emits plans
+// through: the planner chooses only the join order, the compiler owns
+// step assembly.
+func (cr *CompiledRule) ScheduleFor(pinned int, order []int) []Step {
+	return cr.scheduleWith(pinned, order)
+}
+
+// scheduleWith assembles a schedule visiting atoms in the explicit order
+// when non-nil, else by the static most-bound-positions greedy.
+func (cr *CompiledRule) scheduleWith(pinned int, order []int) []Step {
 	n := len(cr.Pos)
 	bound := make([]bool, cr.NSlots)
 	matched := make([]bool, n)
@@ -435,12 +457,16 @@ func (cr *CompiledRule) buildSchedule(pinned int) []Step {
 		}
 	}
 
-	if pinned < n {
-		matched[pinned] = true
-		bindAtom(pinned)
-	}
-	flush()
-	for {
+	pick := func() int {
+		if order != nil {
+			for _, i := range order {
+				if i >= 0 && i < n && !matched[i] {
+					return i
+				}
+			}
+			// An incomplete explicit order falls through to the greedy
+			// picker so the schedule always covers every atom.
+		}
 		best, bestScore := -1, -1
 		for i := range cr.Pos {
 			if matched[i] {
@@ -451,12 +477,23 @@ func (cr *CompiledRule) buildSchedule(pinned int) []Step {
 				if !isv || bound[cr.Pos[i].Slot[p]] {
 					score++
 				}
-				_ = p
 			}
+			// Strict > breaks ties toward the earliest source-order atom —
+			// the documented fallback order the planner is measured against.
 			if score > bestScore {
 				best, bestScore = i, score
 			}
 		}
+		return best
+	}
+
+	if pinned < n {
+		matched[pinned] = true
+		bindAtom(pinned)
+	}
+	flush()
+	for {
+		best := pick()
 		if best == -1 {
 			break
 		}
@@ -464,6 +501,142 @@ func (cr *CompiledRule) buildSchedule(pinned int) []Step {
 		steps = append(steps, Step{StepMatch, best})
 		bindAtom(best)
 		flush()
+	}
+	return steps
+}
+
+// NBodySlots returns the number of slots occupied by the positive body
+// atoms. Slots are allocated in first-occurrence order over the body
+// (positives first), so body slots are exactly [0, NBodySlots()) and two
+// rules with identical positive bodies number them identically — the
+// canonical renaming that makes cross-rule body sharing sound.
+func (cr *CompiledRule) NBodySlots() int {
+	nb := 0
+	for _, a := range cr.Pos {
+		for p, isv := range a.IsVar {
+			if isv && a.Slot[p] >= nb {
+				nb = a.Slot[p] + 1
+			}
+		}
+	}
+	return nb
+}
+
+// BodySignature renders the positive body under canonical slot naming,
+// and reports whether the rule is eligible for common-subexpression
+// sharing of that body. Rules sharing an equal, eligible signature can
+// be matched through one shared body cursor per delta and replay only
+// their private assignments, conditions and heads per match (the CSE of
+// the paper's execution optimizer). Ineligible are rules whose body
+// match itself is not a pure function of the frozen store: negated
+// atoms and dom() restrictions (their evaluation time matters when the
+// database grows mid-batch), Skolem-minting assignments (null identity
+// depends on firing order), and assignments feeding slots matched by
+// body atoms (the body then depends on assignment interleaving).
+func (cr *CompiledRule) BodySignature() (string, bool) {
+	if len(cr.Pos) < 2 || len(cr.Neg) > 0 || len(cr.DomSlots) > 0 {
+		return "", false
+	}
+	inBody := make(map[int]bool)
+	for _, a := range cr.Pos {
+		for p, isv := range a.IsVar {
+			if isv {
+				inBody[a.Slot[p]] = true
+			}
+		}
+	}
+	for _, asg := range cr.Assigns {
+		if asg.IsSkolem || inBody[asg.Slot] {
+			return "", false
+		}
+	}
+	var sb strings.Builder
+	for _, a := range cr.Pos {
+		sb.WriteString(a.Pred)
+		sb.WriteByte('(')
+		for p := range a.IsVar {
+			if p > 0 {
+				sb.WriteByte(',')
+			}
+			if a.IsVar[p] {
+				fmt.Fprintf(&sb, "s%d", a.Slot[p])
+			} else {
+				fmt.Fprintf(&sb, "k%d:%s", a.Const[p].Kind(), a.Const[p].String())
+			}
+		}
+		sb.WriteString(")|")
+	}
+	return sb.String(), true
+}
+
+// BodyMatcher compiles a match-only twin of the rule: same positive
+// body atoms and slot numbering, no assignments, conditions, negation,
+// aggregation or heads. Engines use it as the shared cursor for a CSE
+// group — one enumeration of the body feeds every member rule, which
+// then replays its private PostMatchSteps per captured match.
+func (cr *CompiledRule) BodyMatcher() *CompiledRule {
+	nb := cr.NBodySlots()
+	m := &CompiledRule{
+		Rule:    cr.Rule,
+		Info:    cr.Info,
+		VarSlot: cr.VarSlot,
+		SlotVar: cr.SlotVar[:nb],
+		NSlots:  nb,
+		Pos:     cr.Pos,
+		WardPos: -1,
+	}
+	m.buildSchedules()
+	return m
+}
+
+// PostMatchSteps returns the assignment and condition steps a CSE group
+// member replays after its shared body matched: every assignment and
+// condition, in dependency order, with all body slots bound (conditions
+// reading the aggregate result stay excluded — the engine's aggregation
+// path runs them, exactly as with in-schedule matching).
+func (cr *CompiledRule) PostMatchSteps() []Step {
+	bound := make([]bool, cr.NSlots)
+	for _, a := range cr.Pos {
+		for p, isv := range a.IsVar {
+			if isv {
+				bound[a.Slot[p]] = true
+			}
+		}
+	}
+	aggSlot := -1
+	if cr.Agg != nil {
+		aggSlot = cr.Agg.ResultSlot
+	}
+	asgDone := make([]bool, len(cr.Assigns))
+	condDone := make([]bool, len(cr.Conds))
+	steps := []Step{}
+	for progress := true; progress; {
+		progress = false
+		for i, a := range cr.Assigns {
+			ok := !asgDone[i]
+			for _, s := range a.Deps {
+				ok = ok && bound[s]
+			}
+			if ok {
+				asgDone[i] = true
+				bound[a.Slot] = true
+				steps = append(steps, Step{StepAssign, i})
+				progress = true
+			}
+		}
+		for i, c := range cr.Conds {
+			ok := !condDone[i]
+			for _, s := range c.Deps {
+				if !bound[s] || s == aggSlot {
+					ok = false
+				}
+			}
+			if ok {
+				condDone[i] = true
+				steps = append(steps, Step{StepCond, i})
+				progress = true
+			}
+		}
 	}
 	return steps
 }

@@ -22,6 +22,12 @@ type Binding struct {
 	// Parents collects the fact metadata matched per positive atom, in Pos
 	// order, for the termination strategy.
 	Parents []*core.FactMeta
+	// ParentRows records the storage row index matched per positive atom
+	// (-1 for the pinned atom and unmatched atoms). The tuple identifies a
+	// candidate independently of the join order that enumerated it, which
+	// is what lets the engines admit candidates in a canonical order no
+	// matter which plan produced them.
+	ParentRows []int32
 
 	in *storage.Interner // set by the Matcher on each MatchPinned
 
@@ -40,14 +46,15 @@ type Binding struct {
 // NewBinding allocates a binding for cr.
 func NewBinding(cr *CompiledRule) *Binding {
 	b := &Binding{
-		IDs:     make([]uint32, cr.NSlots),
-		Bound:   make([]bool, cr.NSlots),
-		hasVal:  make([]bool, cr.NSlots),
-		vals:    make([]term.Value, cr.NSlots),
-		Parents: make([]*core.FactMeta, len(cr.Pos)),
-		envBuf:  make(map[string]term.Value),
-		probes:  make([][]uint32, len(cr.Pos)),
-		newly:   make([]int, 0, cr.NSlots),
+		IDs:        make([]uint32, cr.NSlots),
+		Bound:      make([]bool, cr.NSlots),
+		hasVal:     make([]bool, cr.NSlots),
+		vals:       make([]term.Value, cr.NSlots),
+		Parents:    make([]*core.FactMeta, len(cr.Pos)),
+		ParentRows: make([]int32, len(cr.Pos)),
+		envBuf:     make(map[string]term.Value),
+		probes:     make([][]uint32, len(cr.Pos)),
+		newly:      make([]int, 0, cr.NSlots),
 	}
 	for i := range cr.Pos {
 		b.probes[i] = make([]uint32, cr.Pos[i].arity())
@@ -217,6 +224,15 @@ func unifyPinned(b *Binding, a *CAtom, m *core.FactMeta, ro bool) bool {
 // When pinned == len(cr.Pos) the rule is evaluated without a pin (naive
 // evaluation over the whole database).
 func (mt *Matcher) MatchPinned(cr *CompiledRule, pinned int, pinnedMeta *core.FactMeta, b *Binding, emit func(b *Binding) error) error {
+	return mt.MatchPinnedSteps(cr, pinned, pinnedMeta, cr.schedules[pinned], b, emit)
+}
+
+// MatchPinnedSteps is MatchPinned running an explicit schedule instead
+// of the compiled static one — the seam through which the engines feed
+// planner-derived schedules. steps must cover the same assignments,
+// conditions and non-pinned atoms as cr.Schedule(pinned) (only their
+// order may differ); ScheduleFor produces exactly such schedules.
+func (mt *Matcher) MatchPinnedSteps(cr *CompiledRule, pinned int, pinnedMeta *core.FactMeta, steps []Step, b *Binding, emit func(b *Binding) error) error {
 	b.in = mt.DB.Interner()
 	for i := range b.Bound {
 		b.Bound[i] = false
@@ -224,6 +240,7 @@ func (mt *Matcher) MatchPinned(cr *CompiledRule, pinned int, pinnedMeta *core.Fa
 	}
 	for i := range b.Parents {
 		b.Parents[i] = nil
+		b.ParentRows[i] = -1
 	}
 	if pinned < len(cr.Pos) {
 		if !unifyPinned(b, &cr.Pos[pinned], pinnedMeta, mt.Snapshot) {
@@ -231,7 +248,17 @@ func (mt *Matcher) MatchPinned(cr *CompiledRule, pinned int, pinnedMeta *core.Fa
 		}
 		b.Parents[pinned] = pinnedMeta
 	}
-	return mt.runSteps(cr, cr.schedules[pinned], 0, b, emit)
+	return mt.runSteps(cr, steps, 0, b, emit)
+}
+
+// Replay runs steps (assignments, conditions — no matches) over an
+// already populated binding, then the negation/dom tail, then emit.
+// It is the member half of CSE body sharing: after a shared body match
+// is restored into b, Replay applies the member rule's private
+// PostMatchSteps and hands complete bindings to emit.
+func (mt *Matcher) Replay(cr *CompiledRule, steps []Step, b *Binding, emit func(b *Binding) error) error {
+	b.in = mt.DB.Interner()
+	return mt.runSteps(cr, steps, 0, b, emit)
 }
 
 func (mt *Matcher) runSteps(cr *CompiledRule, steps []Step, si int, b *Binding, emit func(b *Binding) error) error {
@@ -351,10 +378,12 @@ func (mt *Matcher) matchAtom(cr *CompiledRule, steps []Step, si int, ai int, b *
 		}
 		if ok {
 			b.Parents[ai] = rel.At(int(rowIdx))
+			b.ParentRows[ai] = rowIdx
 			if err := mt.runSteps(cr, steps, si+1, b, emit); err != nil {
 				return err
 			}
 			b.Parents[ai] = nil
+			b.ParentRows[ai] = -1
 		}
 		// Unbind this row's bindings (deeper levels restored theirs on
 		// return, so everything past markNewly belongs to this level).

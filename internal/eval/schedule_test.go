@@ -1,0 +1,46 @@
+package eval
+
+import "testing"
+
+func matchOrder(steps []Step) []int {
+	var order []int
+	for _, st := range steps {
+		if st.Kind == StepMatch {
+			order = append(order, st.Index)
+		}
+	}
+	return order
+}
+
+// TestStaticScheduleTieBreakSourceOrder pins the static schedule's
+// documented tie-break: when several candidate atoms bind equally many
+// positions, the earliest source-order atom is matched first. This is the
+// fallback order the cost-based planner is measured against, so it must
+// not drift.
+func TestStaticScheduleTieBreakSourceOrder(t *testing.T) {
+	cr, _ := compileFirst(t, `a(X), b(X), c(X) -> h(X).`)
+	got := matchOrder(cr.Schedule(0))
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("pinned 0: match order %v, want [1 2]", got)
+	}
+	// Pinned on the last atom the tie is between a and b: source order again.
+	got = matchOrder(cr.Schedule(2))
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("pinned 2: match order %v, want [0 1]", got)
+	}
+}
+
+// TestScheduleForExplicitOrder: ScheduleFor honors the planner's explicit
+// atom order, and an exhausted explicit order falls back to the greedy
+// picker rather than dropping atoms.
+func TestScheduleForExplicitOrder(t *testing.T) {
+	cr, _ := compileFirst(t, `a(X), b(X), c(X) -> h(X).`)
+	got := matchOrder(cr.ScheduleFor(0, []int{2, 1}))
+	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Fatalf("explicit order: %v, want [2 1]", got)
+	}
+	got = matchOrder(cr.ScheduleFor(0, []int{2}))
+	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Fatalf("partial order must complete greedily: %v, want [2 1]", got)
+	}
+}

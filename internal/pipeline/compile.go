@@ -8,6 +8,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/planner"
 	"repro/internal/rewrite"
 	"repro/internal/storage"
 )
@@ -29,6 +30,13 @@ type Compiled struct {
 
 	rules   []*eval.CompiledRule
 	postAgg [][]eval.CCond // conditions depending on the aggregate result
+	// inline marks rules whose firings bypass the buffered canonical-order
+	// admission path: Skolem assignments in the body mint nulls while
+	// matching, so their enumeration order is part of the result and must
+	// stay the static schedule's; negated atoms are checked against live
+	// state, so admissions interleave with matching exactly as the serial
+	// semantics prescribe.
+	inline []bool
 
 	// preds maps every predicate of the rewritten program to its arity;
 	// producers maps a predicate (or constraintHub) to the indexes of the
@@ -90,8 +98,15 @@ func Compile(prog *ast.Program, opts Options) (*Compiled, error) {
 				}
 			}
 		}
+		inl := len(cr.Neg) > 0
+		for _, asg := range cr.Assigns {
+			if asg.IsSkolem {
+				inl = true
+			}
+		}
 		c.rules = append(c.rules, cr)
 		c.postAgg = append(c.postAgg, pa)
+		c.inline = append(c.inline, inl)
 		switch {
 		case r.IsConstraint, r.EGD != nil:
 			c.producers[constraintHub] = append(c.producers[constraintHub], i)
@@ -124,6 +139,9 @@ func (c *Compiled) NewSession() *Session {
 	if c.opts.DisableDynamicIndex {
 		s.db.DisableIndexes()
 	}
+	if !c.opts.DisablePlanner {
+		s.pl = planner.New(sessionCatalog{s: s})
+	}
 	s.mt = &eval.Matcher{DB: s.db, OnIndexProbe: func(pred string) { s.bm.Touch(pred) }}
 	for pred, arity := range c.preds {
 		rel := s.db.Rel(pred, arity)
@@ -137,6 +155,7 @@ func (c *Compiled) NewSession() *Session {
 			binding: eval.NewBinding(cr),
 			cursors: make([]int, len(cr.Pos)),
 			postAgg: c.postAgg[i],
+			sized:   make([]*planner.Plan, len(cr.Pos)),
 		}
 		if cr.Rule.Aggregate != nil {
 			f.agg = eval.NewAggState(cr.Rule.Aggregate.Func, s.db.Interner())

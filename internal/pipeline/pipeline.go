@@ -18,6 +18,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/planner"
 	"repro/internal/rewrite"
 	"repro/internal/storage"
 	"repro/internal/term"
@@ -44,6 +45,11 @@ type Options struct {
 	// DisableDynamicIndex turns off the slot machine join's dynamic
 	// in-memory indexing (ablation): lookups scan.
 	DisableDynamicIndex bool
+	// DisablePlanner turns off cost-based join planning (ablation): rules
+	// run their static compile-time schedules. Admission order is
+	// canonical either way, so reasoning output is byte-identical with the
+	// planner on or off.
+	DisablePlanner bool
 }
 
 // stepResult is a filter's answer to a pull: it produced a fact, it cannot
@@ -94,7 +100,33 @@ type Session struct {
 	contribBuf []term.Value
 	headsBuf   []ast.Fact
 	parentsBuf []*core.FactMeta
+
+	// pl derives cost-based join schedules from live statistics (nil when
+	// Options.DisablePlanner). log and permBuf buffer one firing's
+	// candidate bindings so they are admitted in canonical order
+	// regardless of the join order that enumerated them.
+	pl      *planner.Planner
+	log     eval.BindingLog
+	permBuf []int32
 }
+
+// replanStride paces adaptive re-planning: the pipeline has no epoch
+// boundaries, so its statistics generation advances once per stride of
+// admitted facts, which is when cached plans are revalidated against the
+// current relation sizes. Must be a power of two.
+const replanStride = 1024
+
+// sessionCatalog adapts a session's live database statistics to the
+// planner's Catalog, deriving the generation from the derivation count.
+type sessionCatalog struct{ s *Session }
+
+// RelStats implements planner.Catalog.
+func (c sessionCatalog) RelStats(pred string) (storage.RelStats, bool) {
+	return c.s.db.RelStats(pred, false)
+}
+
+// Gen implements planner.Catalog.
+func (c sessionCatalog) Gen() uint64 { return uint64(c.s.derivations / replanStride) }
 
 // hub is the meeting point of all producers of one predicate: the
 // predicate's buffered relation plus the filters feeding it.
@@ -120,6 +152,11 @@ type ruleFilter struct {
 	cursors []int
 	rr      int
 	active  bool // on the current pull stack (runtime cycle detection)
+
+	// sized[pos] is the last plan whose presize hints were applied for
+	// firings pinned at pos; hints re-apply only when re-planning yields
+	// a new plan, not on every firing.
+	sized []*planner.Plan
 
 	produced int
 }
@@ -417,14 +454,72 @@ func (s *Session) allQuiesced() bool {
 
 // fire evaluates filter f with body atom pos pinned to delta m, admitting
 // any derived head facts; it returns how many facts were admitted.
+//
+// Rules marked inline run the legacy path: the static schedule, with each
+// complete match emitted as it is enumerated. Everything else runs the
+// planned path: the (possibly cost-based) schedule enumerates candidates
+// into a binding log against pre-firing state, and the candidates are
+// admitted in canonical order (eval.BindingLog.CanonicalOrder) — the order
+// depends only on which rows matched, so every join order produces
+// byte-identical output.
 func (s *Session) fire(f *ruleFilter, pos int, m *core.FactMeta) (int, error) {
-	admitted := 0
-	err := s.mt.MatchPinned(f.cr, pos, m, f.binding, func(b *eval.Binding) error {
-		n, err := s.emit(f, b)
-		admitted += n
-		return err
+	cr := f.cr
+	if s.c.inline[f.idx] {
+		admitted := 0
+		err := s.mt.MatchPinned(cr, pos, m, f.binding, func(b *eval.Binding) error {
+			n, err := s.emit(f, b)
+			admitted += n
+			return err
+		})
+		return admitted, err
+	}
+	steps := cr.Schedule(pos)
+	if s.pl != nil {
+		p := s.pl.PlanFor(cr, pos)
+		steps = p.Steps
+		if f.sized[pos] != p {
+			f.sized[pos] = p
+			for _, pr := range p.Probes {
+				if rel := s.db.Lookup(pr.Pred); rel != nil {
+					rel.EnsureIndexSized(pr.Mask, pr.Keys)
+				}
+			}
+		}
+	}
+	if len(cr.Pos) <= 2 {
+		// At most one body atom remains after pinning, so there is only
+		// one possible join order: enumeration order is plan-independent
+		// (storage row order) and already canonical. Admit inline and
+		// skip the capture/sort/replay round trip.
+		admitted := 0
+		err := s.mt.MatchPinnedSteps(cr, pos, m, steps, f.binding, func(b *eval.Binding) error {
+			n, err := s.emit(f, b)
+			admitted += n
+			return err
+		})
+		return admitted, err
+	}
+	lg := &s.log
+	lg.Reset(cr)
+	err := s.mt.MatchPinnedSteps(cr, pos, m, steps, f.binding, func(b *eval.Binding) error {
+		lg.Capture(b)
+		return nil
 	})
-	return admitted, err
+	if err != nil {
+		return 0, err
+	}
+	perm := lg.CanonicalOrder(s.permBuf)
+	s.permBuf = perm
+	admitted := 0
+	for _, idx := range perm {
+		lg.Restore(int(idx), s.db.Interner(), f.binding)
+		n, err := s.emit(f, f.binding)
+		admitted += n
+		if err != nil {
+			return admitted, err
+		}
+	}
+	return admitted, nil
 }
 
 func (s *Session) emit(f *ruleFilter, b *eval.Binding) (int, error) {
@@ -688,6 +783,10 @@ func (s *Session) Output(pred string) []ast.Fact {
 
 // DB exposes the session's database (benchmarks, diagnostics).
 func (s *Session) DB() *storage.Database { return s.db }
+
+// Planner exposes the session's join planner for its statistics and
+// -explain rendering; nil when Options.DisablePlanner.
+func (s *Session) Planner() *planner.Planner { return s.pl }
 
 // Strategy exposes the termination policy for its statistics.
 func (s *Session) Strategy() core.Policy { return s.strat }

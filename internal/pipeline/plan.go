@@ -1,9 +1,8 @@
 package pipeline
 
 import (
-	"fmt"
-	"sort"
-	"strings"
+	"repro/internal/eval"
+	"repro/internal/planner"
 )
 
 // Plan renders the compiled reasoning access plan (paper Sec. 4, step 2:
@@ -12,58 +11,33 @@ import (
 // pipes from the predicates it reads to the predicate it feeds. The plan
 // is a compile-time artifact: it exists before any session runs.
 func (c *Compiled) Plan() string {
-	var sb strings.Builder
-	sb.WriteString("reasoning access plan (filters and pipes)\n")
-
-	// Source filters: EDB predicates (never produced by a rule).
-	idb := c.prog.IDBPreds()
-	var sources []string
-	for pred := range c.preds {
-		if !idb[pred] {
-			sources = append(sources, pred)
-		}
-	}
-	sort.Strings(sources)
-	for _, pred := range sources {
-		fmt.Fprintf(&sb, "  source  %s\n", pred)
-	}
-
-	for _, cr := range c.rules {
-		r := cr.Rule
-		var reads []string
-		for _, a := range cr.Pos {
-			reads = append(reads, a.Pred)
-		}
-		role := "filter"
-		switch {
-		case r.IsConstraint:
-			role = "constraint"
-		case r.EGD != nil:
-			role = "egd"
-		case r.Aggregate != nil:
-			role = "aggregate"
-		}
-		head := "⊥"
-		if len(r.Heads) > 0 {
-			head = r.Heads[0].Pred
-		} else if r.EGD != nil {
-			head = r.EGD.Left + "=" + r.EGD.Right
-		}
-		fmt.Fprintf(&sb, "  %-10s r%-3d [%s] %s -> %s\n",
-			role, r.ID, cr.Info.Kind, strings.Join(reads, " ⋈ "), head)
-	}
-
-	var sinks []string
-	for pred := range c.prog.Outputs {
-		sinks = append(sinks, pred)
-	}
-	sort.Strings(sinks)
-	for _, pred := range sinks {
-		fmt.Fprintf(&sb, "  sink    %s\n", pred)
-	}
-	return sb.String()
+	return planner.RenderPlan(c.prog, c.preds, c.rules, nil)
 }
 
 // Plan renders the session's reasoning access plan (delegates to the
 // shared compiled artifact).
 func (s *Session) Plan() string { return s.c.Plan() }
+
+// Explain renders the access plan annotated, per rule and per delta-pinned
+// body atom, with the join order the cost-based planner chooses and the
+// estimates that drove it — against the session's statistics at call time,
+// so explaining after Run shows the orders the fixpoint converged on.
+// Inline rules (Skolem body assignments, negation) run their static
+// schedules and carry no annotation; with the planner disabled, Explain
+// renders the plain plan.
+func (s *Session) Explain() string {
+	var annotate func(ri int, cr *eval.CompiledRule) []string
+	if s.pl != nil {
+		annotate = func(ri int, cr *eval.CompiledRule) []string {
+			if s.c.inline[ri] {
+				return []string{"static schedule (inline rule)"}
+			}
+			lines := make([]string, 0, len(cr.Pos))
+			for pi := range cr.Pos {
+				lines = append(lines, s.pl.Describe(cr, pi))
+			}
+			return lines
+		}
+	}
+	return planner.RenderPlan(s.c.prog, s.c.preds, s.c.rules, annotate)
+}

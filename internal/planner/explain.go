@@ -1,0 +1,78 @@
+package planner
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+)
+
+// RenderPlan renders the reasoning access plan of a compiled program
+// (paper Sec. 4, step 2: the logic compiler's pipeline of filters and
+// pipes): one line per source predicate, one per rule filter with its
+// generating-rule kind and termination-wrapper role, and one per sink.
+// Both engines render their plans through it, so -explain output has one
+// format regardless of engine.
+//
+// annotate, when non-nil, is called once per rule and may return extra
+// detail lines — the cost-based join orders with their driving estimates
+// (Planner.Describe) — which are indented under the rule's line.
+func RenderPlan(prog *ast.Program, preds map[string]int, rules []*eval.CompiledRule, annotate func(ri int, cr *eval.CompiledRule) []string) string {
+	var sb strings.Builder
+	sb.WriteString("reasoning access plan (filters and pipes)\n")
+
+	// Source filters: EDB predicates (never produced by a rule).
+	idb := prog.IDBPreds()
+	var sources []string
+	for pred := range preds {
+		if !idb[pred] {
+			sources = append(sources, pred)
+		}
+	}
+	sort.Strings(sources)
+	for _, pred := range sources {
+		fmt.Fprintf(&sb, "  source  %s\n", pred)
+	}
+
+	for ri, cr := range rules {
+		r := cr.Rule
+		var reads []string
+		for _, a := range cr.Pos {
+			reads = append(reads, a.Pred)
+		}
+		role := "filter"
+		switch {
+		case r.IsConstraint:
+			role = "constraint"
+		case r.EGD != nil:
+			role = "egd"
+		case r.Aggregate != nil:
+			role = "aggregate"
+		}
+		head := "⊥"
+		if len(r.Heads) > 0 {
+			head = r.Heads[0].Pred
+		} else if r.EGD != nil {
+			head = r.EGD.Left + "=" + r.EGD.Right
+		}
+		fmt.Fprintf(&sb, "  %-10s r%-3d [%s] %s -> %s\n",
+			role, r.ID, cr.Info.Kind, strings.Join(reads, " ⋈ "), head)
+		if annotate != nil {
+			for _, line := range annotate(ri, cr) {
+				fmt.Fprintf(&sb, "      %s\n", line)
+			}
+		}
+	}
+
+	var sinks []string
+	for pred := range prog.Outputs {
+		sinks = append(sinks, pred)
+	}
+	sort.Strings(sinks)
+	for _, pred := range sinks {
+		fmt.Fprintf(&sb, "  sink    %s\n", pred)
+	}
+	return sb.String()
+}

@@ -23,6 +23,7 @@ type Database struct {
 	in        *Interner
 	activeDom map[uint32]struct{} // interned IDs of ACDom constants
 	noIndex   bool
+	gen       uint64 // Freeze epochs opened so far (plan-cache keying)
 }
 
 // NewDatabase returns an empty database.
@@ -76,9 +77,30 @@ func (db *Database) Predicates() []string {
 // The parallel chase freezes the database before fanning a delta batch
 // out to its match workers and mutates it only on the serial admit path.
 func (db *Database) Freeze() {
+	db.gen++
 	for _, r := range db.rels {
 		r.Freeze()
 	}
+}
+
+// StatsGen counts the Freeze epochs opened so far. Plan caches key on it
+// to detect that a new consistent statistics snapshot exists.
+func (db *Database) StatsGen() uint64 { return db.gen }
+
+// RelStats returns planner statistics for pred. Frozen selects the
+// snapshot captured by the last Freeze (what parallel-chase workers must
+// plan against); otherwise the statistics are computed live (the
+// single-threaded pipeline's view). The boolean is false when the
+// predicate has no relation yet.
+func (db *Database) RelStats(pred string, frozen bool) (RelStats, bool) {
+	r := db.rels[pred]
+	if r == nil {
+		return RelStats{}, false
+	}
+	if frozen {
+		return r.FrozenStats(), true
+	}
+	return r.Stats(), true
 }
 
 // Insert stores m in its predicate's relation; it reports whether the fact

@@ -13,6 +13,8 @@
 package storage
 
 import (
+	"sync/atomic"
+
 	"repro/internal/ast"
 	"repro/internal/core"
 	"repro/internal/term"
@@ -111,6 +113,14 @@ type Relation struct {
 
 	bytes int64 // rough retained-size accounting for the buffer manager
 
+	// Planner statistics (see stats.go): per-column distinct sketches
+	// maintained at insert/replace, the snapshot captured by the last
+	// Freeze, its generation counter, and per-mask index-usage records.
+	sketches []distinctSketch
+	frozen   RelStats
+	gen      uint64
+	idxUse   map[uint32]*idxUsage
+
 	scratch  []uint32 // reusable row buffer for Insert/Contains
 	probeBuf []uint32 // reusable probe-ID buffer for value-based Lookup
 	replBuf  []uint32 // reusable old-row copy for Replace
@@ -131,6 +141,11 @@ type dynIndex struct {
 	entries map[uint64][]int32
 	upTo    int // facts [0, upTo) are indexed
 	bytes   int64
+
+	// hits counts probes served by this index since it was built. Atomic
+	// because frozen-epoch probes (SnapshotLookupIDs) run concurrently
+	// from match workers; all other access is single-goroutine.
+	hits atomic.Int64
 }
 
 // NewRelation creates an empty relation for pred with the given arity
@@ -287,6 +302,7 @@ func (r *Relation) Insert(m *core.FactMeta) bool {
 	r.metas = append(r.metas, m)
 	r.rows = append(r.rows, row...)
 	r.bytes += int64(4*r.arity) + 48
+	r.observeRow(row)
 	return true
 }
 
@@ -349,6 +365,7 @@ func (r *Relation) Replace(i int, f ast.Fact) ReplaceOutcome {
 		ix.entries[nh] = append(ix.entries[nh], int32(i))
 	}
 	r.metas[i].ReplaceFact(f)
+	r.observeRow(newRow)
 	if r.log == nil {
 		r.log = make([]int32, len(r.metas), len(r.metas)+8)
 		for k := range r.log {
@@ -540,12 +557,8 @@ func (r *Relation) LookupIDs(mask uint32, probe []uint32) []int32 {
 	if r.noIndex {
 		return r.scanMasked(mask, probe)
 	}
-	ix := r.indexes[mask]
-	if ix == nil {
-		ix = &dynIndex{mask: mask, entries: make(map[uint64][]int32)}
-		r.indexes[mask] = ix
-	}
-	r.extendIndex(ix)
+	ix := r.ensureIndexSized(mask, 0)
+	ix.hits.Add(1)
 	return r.filterBucket(ix.entries[hashMasked(probe, mask)], mask, probe)
 }
 
@@ -606,6 +619,8 @@ func (r *Relation) Freeze() {
 		r.extendIndex(ix)
 	}
 	r.epoch = len(r.metas)
+	r.gen++
+	r.frozen = r.Stats()
 }
 
 // Epoch returns the row watermark of the last Freeze: rows [0, Epoch())
@@ -620,12 +635,34 @@ func (r *Relation) EnsureIndex(mask uint32) {
 	if mask == 0 || r.noIndex {
 		return
 	}
+	r.ensureIndexSized(mask, 0)
+}
+
+// EnsureIndexSized is EnsureIndex with a bucket-count hint for a fresh
+// index — the planner's presized-join hook: when the plan estimates how
+// many distinct keys an index will hold, the bucket table is allocated
+// once instead of growing through rehashes. The hint is ignored for an
+// already existing index.
+func (r *Relation) EnsureIndexSized(mask uint32, sizeHint int) {
+	if mask == 0 || r.noIndex {
+		return
+	}
+	r.ensureIndexSized(mask, sizeHint)
+}
+
+// ensureIndexSized builds (presized when sizeHint > 0) or extends the
+// dynamic index for mask and returns it.
+func (r *Relation) ensureIndexSized(mask uint32, sizeHint int) *dynIndex {
 	ix := r.indexes[mask]
 	if ix == nil {
-		ix = &dynIndex{mask: mask, entries: make(map[uint64][]int32)}
+		ix = &dynIndex{mask: mask, entries: make(map[uint64][]int32, sizeHint)}
 		r.indexes[mask] = ix
+		u := r.usage(mask)
+		u.builds++
+		u.built = true
 	}
 	r.extendIndex(ix)
+	return ix
 }
 
 // SnapshotLookupIDs is the read-only counterpart of LookupIDs for frozen
@@ -654,6 +691,7 @@ func (r *Relation) SnapshotLookupIDs(mask uint32, probe []uint32) ([]int32, bool
 		return r.scanMasked(mask, probe), true
 	}
 	if ix := r.indexes[mask]; ix != nil && ix.upTo == len(r.metas) {
+		ix.hits.Add(1)
 		return r.filterBucket(ix.entries[hashMasked(probe, mask)], mask, probe), true
 	}
 	return r.scanMasked(mask, probe), false
@@ -667,6 +705,7 @@ func (r *Relation) SnapshotLookupCountIDs(mask uint32, probe []uint32) (int, boo
 	}
 	if !r.noIndex {
 		if ix := r.indexes[mask]; ix != nil && ix.upTo == len(r.metas) {
+			ix.hits.Add(1)
 			n := 0
 			for _, ri := range ix.entries[hashMasked(probe, mask)] {
 				if r.maskedEqual(int(ri), mask, probe) {
@@ -724,11 +763,20 @@ func (r *Relation) LookupCountIDs(mask uint32, probe []uint32) int {
 }
 
 // DropIndexes discards all dynamic indexes (they are rebuilt on demand);
-// used by the buffer manager under memory pressure.
+// used by the buffer manager under memory pressure. Each evicted build's
+// hit count is folded into the mask's usage record, so a later
+// PromoteIndex can tell a cold index (built, never hit) from a hot one.
 func (r *Relation) DropIndexes() {
-	if len(r.indexes) > 0 {
-		r.indexes = make(map[uint32]*dynIndex)
+	if len(r.indexes) == 0 {
+		return
 	}
+	for mask, ix := range r.indexes {
+		u := r.usage(mask)
+		h := ix.hits.Load()
+		u.hits += h
+		u.lastHits = h
+	}
+	r.indexes = make(map[uint32]*dynIndex)
 }
 
 // IndexCount returns how many dynamic indexes currently exist.

@@ -1,0 +1,181 @@
+package storage
+
+import (
+	"math"
+	"math/bits"
+)
+
+// This file holds the cheap per-relation statistics that feed the
+// cost-based join planner (paper Sec. 6, Optimizations): a live-row
+// count, per-column distinct-ID estimates maintained incrementally at
+// insert/replace time, and per-index usage counters. Statistics are
+// snapshotted at the Freeze epoch boundary so that parallel-chase
+// workers plan against exactly the numbers they match against.
+
+// sketchRegisters is the register count (m) of the per-column distinct
+// sketches. 64 registers give a ~13% standard error — far more precision
+// than join ordering needs — at 64 bytes per column.
+const sketchRegisters = 64
+
+// alpha64 is the HyperLogLog bias-correction constant for m = 64:
+// 0.7213 / (1 + 1.079/m).
+const alpha64 = 0.709
+
+// distinctSketch is a small HyperLogLog estimator over interned IDs.
+// Updates are O(1) and allocation-free; deletions are not supported, so
+// after aggregate supersession (Replace) the estimate may slightly
+// overcount — acceptable for ordering decisions, which only need the
+// right order of magnitude.
+type distinctSketch struct {
+	reg [sketchRegisters]uint8
+}
+
+// add folds one interned ID into the sketch. The FNV state is passed
+// through a murmur-style finalizer: interned IDs are small sequential
+// integers and FNV-1a alone leaves their low bits too regular for the
+// trailing-zeros rank (estimates skewed ~60% high without it).
+func (s *distinctSketch) add(id uint32) {
+	h := mixID(fnvOffset64, id)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	idx := h & (sketchRegisters - 1)
+	// Rank of the remaining bits: position of the lowest set bit, 1-based.
+	// The sentinel bit caps the rank so the register never overflows.
+	rank := uint8(bits.TrailingZeros64(h>>6|1<<57)) + 1
+	if rank > s.reg[idx] {
+		s.reg[idx] = rank
+	}
+}
+
+// estimate returns the sketch's cardinality estimate with the standard
+// small-range correction.
+func (s *distinctSketch) estimate() float64 {
+	sum := 0.0
+	zeros := 0
+	for _, r := range s.reg {
+		sum += 1.0 / float64(uint64(1)<<r)
+		if r == 0 {
+			zeros++
+		}
+	}
+	const m = float64(sketchRegisters)
+	est := alpha64 * m * m / sum
+	if est <= 2.5*m && zeros > 0 {
+		est = m * math.Log(m/float64(zeros))
+	}
+	return est
+}
+
+// RelStats is a snapshot of one relation's planner-facing statistics.
+type RelStats struct {
+	// Gen counts the relation's Freeze epochs; a frozen snapshot carries
+	// the generation it was captured at, so plan caches can key on it.
+	Gen uint64
+	// Live is the number of non-retracted facts at snapshot time.
+	Live int
+	// Distinct estimates the number of distinct interned IDs per column
+	// (len = arity). Estimates only grow (no deletions), so columns with
+	// superseded aggregate intermediates may overcount slightly.
+	Distinct []float64
+}
+
+// Empty reports whether the snapshot describes a relation with no
+// usable statistics (no live rows observed).
+func (st RelStats) Empty() bool { return st.Live == 0 && st.Distinct == nil }
+
+// observeRow folds a freshly stored (or replacing) row into the
+// per-column sketches.
+func (r *Relation) observeRow(row []uint32) {
+	if len(r.sketches) < r.arity {
+		s := make([]distinctSketch, r.arity)
+		copy(s, r.sketches)
+		r.sketches = s
+	}
+	for i, id := range row {
+		r.sketches[i].add(id)
+	}
+}
+
+// Stats computes the relation's statistics from its current contents:
+// the live view the single-threaded pipeline engine plans against.
+func (r *Relation) Stats() RelStats {
+	st := RelStats{Gen: r.gen, Live: r.Live()}
+	if len(r.sketches) > 0 {
+		st.Distinct = make([]float64, len(r.sketches))
+		for i := range r.sketches {
+			st.Distinct[i] = r.sketches[i].estimate()
+		}
+	}
+	return st
+}
+
+// FrozenStats returns the snapshot captured by the last Freeze. Workers
+// of the parallel chase must use this — never Stats — so every worker
+// plans against the same numbers it matches against. The Distinct slice
+// is shared; callers must not modify it.
+func (r *Relation) FrozenStats() RelStats { return r.frozen }
+
+// idxUsage records, per position bitmask, how often the mask's dynamic
+// index was built, how often it was probed, and how many frozen-epoch
+// probes had to fall back to a full scan. lastHits remembers the hit
+// count of the most recently evicted build: a mask that was built and
+// then evicted without a single hit is "cold" and is not worth
+// re-promoting at every epoch boundary.
+type idxUsage struct {
+	builds   int64
+	scans    int64
+	hits     int64 // hits folded in from evicted builds
+	lastHits int64 // hits during the most recently evicted build's lifetime
+	built    bool  // a build has happened (and possibly been evicted)
+}
+
+// usage returns (creating on demand) the usage record for mask.
+func (r *Relation) usage(mask uint32) *idxUsage {
+	u := r.idxUse[mask]
+	if u == nil {
+		if r.idxUse == nil {
+			r.idxUse = make(map[uint32]*idxUsage)
+		}
+		u = &idxUsage{}
+		r.idxUse[mask] = u
+	}
+	return u
+}
+
+// IndexUsage reports the accumulated counters for mask: builds, probes
+// served by an index (current build included), and frozen-epoch scan
+// fallbacks recorded at batch boundaries.
+func (r *Relation) IndexUsage(mask uint32) (builds, hits, scans int64) {
+	u := r.idxUse[mask]
+	if u == nil {
+		return 0, 0, 0
+	}
+	hits = u.hits
+	if ix := r.indexes[mask]; ix != nil {
+		hits += ix.hits.Load()
+	}
+	return u.builds, hits, u.scans
+}
+
+// PromoteIndex is the batch-boundary promotion for a mask that
+// SnapshotLookupIDs had to scan during a frozen epoch. It records the
+// scan and builds (or extends) the index — unless the mask is cold: a
+// previously built index that was evicted without ever serving a hit is
+// not rebuilt, so relations whose probes never repeat stop paying an
+// index build every epoch. sizeHint presizes a fresh index's bucket
+// table (0 means unknown). It reports whether the index is (now) built.
+func (r *Relation) PromoteIndex(mask uint32, sizeHint int) bool {
+	if mask == 0 || r.noIndex {
+		return false
+	}
+	u := r.usage(mask)
+	u.scans++
+	if r.indexes[mask] == nil && u.built && u.lastHits == 0 {
+		return false
+	}
+	r.ensureIndexSized(mask, sizeHint)
+	return true
+}

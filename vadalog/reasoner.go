@@ -64,6 +64,7 @@ func Compile(prog *Program, opts *Options) (*Reasoner, error) {
 			NewPolicy:           newPolicy,
 			DisableSummary:      disableSummary,
 			DisableDynamicIndex: o.DisableDynamicIndex,
+			DisablePlanner:      o.DisablePlanner,
 		})
 		if err != nil {
 			return nil, err
@@ -77,6 +78,7 @@ func Compile(prog *Program, opts *Options) (*Reasoner, error) {
 			NewPolicy:           newPolicy,
 			DisableSummary:      disableSummary,
 			DisableDynamicIndex: o.DisableDynamicIndex,
+			DisablePlanner:      o.DisablePlanner,
 			Parallelism:         o.Parallelism,
 		})
 		if err != nil {
@@ -163,6 +165,14 @@ func (r *Reasoner) Plan() (string, error) {
 	}
 	return r.plc.Plan(), nil
 }
+
+// Explain renders the access plan annotated with the join orders and
+// estimates the cost-based planner chooses. A Reasoner has no run-time
+// statistics, so the estimates reflect an empty database (every relation
+// size 0 — the orders the first fixpoint round starts from); for
+// estimates grounded in a run's real statistics, run a Session and call
+// its Explain.
+func (r *Reasoner) Explain() string { return r.NewSession().Explain() }
 
 // Program returns the program the Reasoner was compiled from.
 func (r *Reasoner) Program() *Program { return r.prog }

@@ -117,6 +117,11 @@ type Options struct {
 	// DisableDynamicIndex turns off the slot machine join's dynamic
 	// indexing (ablation benchmarks).
 	DisableDynamicIndex bool
+	// DisablePlanner turns off the cost-based join planner (ablation
+	// benchmarks): rules run the static schedules compiled into them and
+	// common-subexpression body sharing is off. Admitted facts are
+	// byte-identical either way; only evaluation order and speed change.
+	DisablePlanner bool
 	// Parallelism sets how many worker goroutines the chase engine uses to
 	// match each delta batch against a frozen storage epoch; 0 (the
 	// default) selects runtime.GOMAXPROCS(0) and 1 evaluates batches on
@@ -289,6 +294,19 @@ func (s *Session) Output(pred string) []Fact {
 	default:
 		return nil
 	}
+}
+
+// Explain renders the session's access plan annotated, per rule and per
+// delta-pinned body atom, with the join order the cost-based planner
+// chooses and the estimates that drove it, against the session's
+// statistics at call time: before Run the estimates reflect an empty
+// database, after Run the orders the fixpoint converged on. With
+// Options.DisablePlanner the plain plan is rendered.
+func (s *Session) Explain() string {
+	if s.pl != nil {
+		return s.pl.Explain()
+	}
+	return s.ch.Explain()
 }
 
 // Result returns the session's materialized reasoning result, or ErrNotRun
