@@ -6,6 +6,9 @@
 // Usage:
 //
 //	vada check program.vada           static wardedness analysis
+//	vada vet [-strict] [-q] targets   positioned lint diagnostics over
+//	                                  .vada files, dirs or dir/... trees
+//	                                  (file:line:col: CODE: message)
 //	vada run [flags] program.vada     run the reasoning task
 //
 // Run flags:
@@ -32,8 +35,11 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	iofs "io/fs"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/ast"
@@ -56,6 +62,8 @@ func main() {
 	switch os.Args[1] {
 	case "check":
 		cmdCheck(os.Args[2:])
+	case "vet":
+		cmdVet(os.Args[2:])
 	case "run":
 		cmdRun(os.Args[2:])
 	case "plan":
@@ -66,8 +74,107 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: vada check <program> | vada plan <program> | vada run [flags] <program>")
+	fmt.Fprintln(os.Stderr, "usage: vada check <program> | vada vet [-strict] <files/dirs...> | vada plan <program> | vada run [flags] <program>")
 	os.Exit(2)
+}
+
+// cmdVet lints Vadalog programs and prints positioned diagnostics in the
+// go-vet-style "file:line:col: CODE: message" form. Arguments are .vada
+// files, directories, or go-style "dir/..." patterns (searched
+// recursively for *.vada). Exit status: 0 when no diagnostic reaches
+// Error severity (Warning with -strict), 1 otherwise, 2 on usage or I/O
+// errors.
+func cmdVet(args []string) {
+	fs := flag.NewFlagSet("vet", flag.ExitOnError)
+	strict := fs.Bool("strict", false, "fail on warnings, not just errors")
+	quiet := fs.Bool("q", false, "suppress info diagnostics")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		usage()
+	}
+	files, err := expandVetTargets(fs.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vada: vet:", err)
+		os.Exit(2)
+	}
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "vada: vet: no .vada files found")
+		os.Exit(2)
+	}
+	failSev := vadalog.SeverityError
+	if *strict {
+		failSev = vadalog.SeverityWarning
+	}
+	exit := 0
+	for _, file := range files {
+		prog, err := vadalog.ParseFile(file)
+		if err != nil {
+			// Syntax errors are already positioned file:line:col.
+			fmt.Fprintln(os.Stdout, err)
+			exit = 1
+			continue
+		}
+		for _, d := range vadalog.Lint(prog, file) {
+			if *quiet && d.Severity == vadalog.SeverityInfo {
+				continue
+			}
+			fmt.Println(d)
+			if d.Severity >= failSev {
+				exit = 1
+			}
+		}
+	}
+	os.Exit(exit)
+}
+
+// expandVetTargets resolves vet arguments to .vada files: files are taken
+// as-is, directories are searched (recursively for go-style "/..."
+// suffixes) for *.vada.
+func expandVetTargets(args []string) ([]string, error) {
+	var files []string
+	for _, arg := range args {
+		recursive := false
+		if strings.HasSuffix(arg, "...") {
+			recursive = true
+			arg = strings.TrimSuffix(arg, "...")
+			arg = strings.TrimSuffix(arg, string(filepath.Separator))
+			if arg == "" {
+				arg = "."
+			}
+		}
+		info, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			files = append(files, arg)
+			continue
+		}
+		if recursive {
+			err = filepath.WalkDir(arg, func(path string, d iofs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() && filepath.Ext(path) == ".vada" {
+					files = append(files, path)
+				}
+				return nil
+			})
+		} else {
+			var entries []iofs.DirEntry
+			entries, err = os.ReadDir(arg)
+			for _, e := range entries {
+				if !e.IsDir() && filepath.Ext(e.Name()) == ".vada" {
+					files = append(files, filepath.Join(arg, e.Name()))
+				}
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(files)
+	return files, nil
 }
 
 func cmdPlan(args []string) {

@@ -5,6 +5,8 @@ package ast
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/term"
@@ -17,6 +19,9 @@ type Arg struct {
 	IsVar bool
 	Var   string
 	Const term.Value
+	// Line/Col locate the argument in the source text (0 when the program
+	// was built programmatically) for positioned diagnostics.
+	Line, Col int
 }
 
 // V returns a variable argument.
@@ -30,7 +35,44 @@ func (a Arg) String() string {
 	if a.IsVar {
 		return a.Var
 	}
-	return a.Const.String()
+	return SourceString(a.Const)
+}
+
+// SourceString renders a constant so that the parser reads it back as the
+// same value: string constants are rendered bare only when they re-lex as
+// a plain identifier (lowercase-initial, alphanumeric/underscore, not a
+// keyword); everything else is quoted. Value.String is looser (it keeps
+// '-', '.' and uppercase-initial strings bare), which is fine for keys and
+// display but breaks parse round-trips.
+func SourceString(v term.Value) string {
+	if v.Kind() != term.KindString {
+		return v.String()
+	}
+	s := v.Str()
+	if !safeBareIdent(s) {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+// safeBareIdent reports whether s lexes as a single lowercase-initial
+// identifier token (and not the keyword "not").
+func safeBareIdent(s string) bool {
+	if s == "" || s == "not" {
+		return false
+	}
+	if s[0] < 'a' || s[0] > 'z' {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // Atom is a predicate applied to arguments, possibly negated (stratified
@@ -39,6 +81,9 @@ type Atom struct {
 	Pred    string
 	Args    []Arg
 	Negated bool
+	// Line/Col locate the predicate name in the source text (0 when the
+	// program was built programmatically) for positioned diagnostics.
+	Line, Col int
 }
 
 // NewAtom builds a positive atom.
@@ -113,6 +158,9 @@ func (op CmpOp) String() string {
 type Condition struct {
 	Op   CmpOp
 	L, R Expr
+	// Line/Col locate the condition in the source text (0 when the program
+	// was built programmatically) for positioned diagnostics.
+	Line, Col int
 }
 
 // String renders the condition in surface syntax.
@@ -126,6 +174,9 @@ func (c Condition) String() string {
 type Assignment struct {
 	Var  string
 	Expr Expr
+	// Line/Col locate the assignment in the source text (0 when the program
+	// was built programmatically) for positioned diagnostics.
+	Line, Col int
 }
 
 // String renders the assignment in surface syntax.
@@ -139,6 +190,9 @@ type AggregateSpec struct {
 	Func         string // msum, mprod, mmin, mmax, mcount, munion
 	Arg          Expr   // x, the aggregated expression
 	Contributors []string
+	// Line/Col locate the aggregation in the source text (0 when the
+	// program was built programmatically) for positioned diagnostics.
+	Line, Col int
 }
 
 // String renders the aggregation in surface syntax.
@@ -189,6 +243,10 @@ type Rule struct {
 	// passes set it so that split or composed rules mint the same labelled
 	// nulls as the original rule (see SkolemBase).
 	Skolem string
+	// Line/Col locate the rule's first token in the source text (0 when the
+	// program was built programmatically) for positioned diagnostics.
+	// Rewriting passes preserve the position of the originating rule.
+	Line, Col int
 }
 
 // SkolemBase returns the base name used to derive the deterministic Skolem
@@ -355,6 +413,9 @@ const DomPred = "dom"
 type Fact struct {
 	Pred string
 	Args []term.Value
+	// Line/Col locate an inline program fact in the source text (0 for
+	// runtime facts) for positioned diagnostics.
+	Line, Col int
 }
 
 // NewFact builds a fact.
@@ -419,7 +480,8 @@ func (f Fact) PatternKey() string {
 	return sb.String()
 }
 
-// String renders the fact in surface syntax.
+// String renders the fact in surface syntax; constants are rendered with
+// SourceString, so the rendering parses back to the same fact.
 func (f Fact) String() string {
 	var sb strings.Builder
 	sb.WriteString(f.Pred)
@@ -428,7 +490,7 @@ func (f Fact) String() string {
 		if i > 0 {
 			sb.WriteByte(',')
 		}
-		sb.WriteString(a.String())
+		sb.WriteString(SourceString(a))
 	}
 	sb.WriteByte(')')
 	return sb.String()
@@ -601,13 +663,15 @@ func (p *Program) IDBPreds() map[string]bool {
 	return idb
 }
 
-// String renders the whole program in surface syntax.
+// String renders the whole program in surface syntax. The rendering is
+// deterministic (@input/@output sets are sorted) and parses back to an
+// equivalent program.
 func (p *Program) String() string {
 	var sb strings.Builder
-	for pred := range p.Inputs {
+	for _, pred := range sortedPreds(p.Inputs) {
 		fmt.Fprintf(&sb, "@input(%q).\n", pred)
 	}
-	for pred := range p.Outputs {
+	for _, pred := range sortedPreds(p.Outputs) {
 		fmt.Fprintf(&sb, "@output(%q).\n", pred)
 	}
 	for _, b := range p.Bindings {
@@ -624,6 +688,13 @@ func (p *Program) String() string {
 		}
 		sb.WriteString(").\n")
 	}
+	for _, d := range p.Posts {
+		if d.Kind == "certain" {
+			fmt.Fprintf(&sb, "@post(%q,%q).\n", d.Pred, d.Kind)
+		} else {
+			fmt.Fprintf(&sb, "@post(%q,%q,%d).\n", d.Pred, d.Kind, d.Arg)
+		}
+	}
 	for _, f := range p.Facts {
 		sb.WriteString(f.String())
 		sb.WriteString(".\n")
@@ -633,6 +704,15 @@ func (p *Program) String() string {
 		sb.WriteByte('\n')
 	}
 	return sb.String()
+}
+
+func sortedPreds(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for pred := range set {
+		out = append(out, pred)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func containsStr(xs []string, s string) bool {

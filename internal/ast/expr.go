@@ -29,8 +29,9 @@ func (e ConstExpr) Eval(map[string]term.Value) (term.Value, error) { return e.Va
 // Vars returns dst unchanged.
 func (e ConstExpr) Vars(dst []string) []string { return dst }
 
-// String renders the constant.
-func (e ConstExpr) String() string { return e.Val.String() }
+// String renders the constant so that the parser reads it back as the
+// same value (see SourceString).
+func (e ConstExpr) String() string { return SourceString(e.Val) }
 
 // VarExpr reads a rule variable.
 type VarExpr struct{ Name string }
@@ -134,9 +135,14 @@ func (e BinExpr) Eval(env map[string]term.Value) (term.Value, error) {
 // Vars appends variables of both operands.
 func (e BinExpr) Vars(dst []string) []string { return e.R.Vars(e.L.Vars(dst)) }
 
-// String renders the expression parenthesized.
+// String renders the expression parenthesized. The modulo operator is
+// written %% — a single % starts a comment in the surface syntax.
 func (e BinExpr) String() string {
-	return "(" + e.L.String() + " " + e.Op + " " + e.R.String() + ")"
+	op := e.Op
+	if op == "%" {
+		op = "%%"
+	}
+	return "(" + e.L.String() + " " + op + " " + e.R.String() + ")"
 }
 
 // FuncExpr applies a built-in typed function (string, date, numeric and

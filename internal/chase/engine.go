@@ -19,7 +19,6 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -27,6 +26,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/lint"
 	"repro/internal/planner"
 	"repro/internal/rewrite"
 	"repro/internal/storage"
@@ -148,8 +148,15 @@ func Compile(prog *ast.Program, opts Options) (*Compiled, error) {
 		return nil, err
 	}
 	res := analysis.Analyze(rw.Program)
-	if opts.RequireWarded && !res.Warded {
-		return nil, fmt.Errorf("chase: program is not warded: %s", strings.Join(res.Violations, "; "))
+	if opts.RequireWarded {
+		if err := lint.RequireWarded(res); err != nil {
+			return nil, fmt.Errorf("chase: %w", err)
+		}
+	}
+	// Parse no longer rejects arity drift (the lint layer reports it as
+	// A001); reject it here like the pipeline engine does via Predicates.
+	if _, err := rw.Program.Predicates(); err != nil {
+		return nil, err
 	}
 	c := &Compiled{
 		opts:   opts,

@@ -1,0 +1,557 @@
+package lint
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/ast"
+	"repro/internal/term"
+)
+
+// kindMask is a bitmask over term kinds: the set of kinds a predicate
+// position (or expression) may hold. The empty mask is "nothing flows
+// here yet" (bottom), mAny is "unconstrained".
+type kindMask uint8
+
+const (
+	mString kindMask = 1 << iota
+	mInt
+	mFloat
+	mBool
+	mDate
+	mSet
+	mNull // labelled nulls from existential quantification
+)
+
+const (
+	mAny     = mString | mInt | mFloat | mBool | mDate | mSet | mNull
+	mNumeric = mInt | mFloat
+)
+
+// String renders the mask as "int|float" style for messages.
+func (m kindMask) String() string {
+	if m == mAny {
+		return "any"
+	}
+	var parts []string
+	for _, e := range []struct {
+		bit  kindMask
+		name string
+	}{
+		{mString, "string"}, {mInt, "int"}, {mFloat, "float"},
+		{mBool, "bool"}, {mDate, "date"}, {mSet, "set"}, {mNull, "null"},
+	} {
+		if m&e.bit != 0 {
+			parts = append(parts, e.name)
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, "|")
+}
+
+func kindBit(k term.Kind) kindMask {
+	switch k {
+	case term.KindString:
+		return mString
+	case term.KindInt:
+		return mInt
+	case term.KindFloat:
+		return mFloat
+	case term.KindBool:
+		return mBool
+	case term.KindDate:
+		return mDate
+	case term.KindSet:
+		return mSet
+	case term.KindNull:
+		return mNull
+	default:
+		return mAny
+	}
+}
+
+// inferTypes computes, per predicate position, the set of term kinds
+// that can flow there: inline facts seed EDB positions; externally fed
+// predicates (@input, @bind/@qbind, @mapping, or no producer at all,
+// since facts may be loaded at runtime) are unconstrained; IDB positions
+// take the union of what every producing rule's head can emit, to a
+// fixpoint. Masks only grow, so the fixpoint terminates.
+func inferTypes(prog *ast.Program) map[analysis.Position]kindMask {
+	masks := make(map[analysis.Position]kindMask)
+	arity := make(map[string]int) // max observed, tolerant of A001 drift
+	noteArity := func(pred string, n int) {
+		if n > arity[pred] {
+			arity[pred] = n
+		}
+	}
+	for _, f := range prog.Facts {
+		noteArity(f.Pred, len(f.Args))
+	}
+	for _, r := range prog.Rules {
+		for _, a := range r.Body {
+			noteArity(a.Pred, a.Arity())
+		}
+		for _, h := range r.Heads {
+			noteArity(h.Pred, h.Arity())
+		}
+	}
+	for _, m := range prog.Mappings {
+		noteArity(m.Pred, len(m.Columns))
+	}
+
+	idb := prog.IDBPreds()
+	hasFacts := make(map[string]bool)
+	for _, f := range prog.Facts {
+		hasFacts[f.Pred] = true
+		for i, a := range f.Args {
+			masks[analysis.Position{Pred: f.Pred, Idx: i}] |= kindBit(a.Kind())
+		}
+	}
+	external := make(map[string]bool)
+	for p := range prog.Inputs {
+		external[p] = true
+	}
+	for _, b := range prog.Bindings {
+		external[b.Pred] = true
+	}
+	for _, m := range prog.Mappings {
+		external[m.Pred] = true
+	}
+	for pred, n := range arity {
+		if pred == ast.DomPred {
+			continue
+		}
+		if external[pred] || (!idb[pred] && !hasFacts[pred]) {
+			for i := 0; i < n; i++ {
+				masks[analysis.Position{Pred: pred, Idx: i}] = mAny
+			}
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, r := range prog.Rules {
+			if r.IsConstraint || r.EGD != nil {
+				continue
+			}
+			vm := ruleVarMasks(r, masks)
+			for _, h := range r.Heads {
+				for i, arg := range h.Args {
+					pos := analysis.Position{Pred: h.Pred, Idx: i}
+					var add kindMask
+					if arg.IsVar {
+						add = vm[arg.Var]
+					} else {
+						add = kindBit(arg.Const.Kind())
+					}
+					if masks[pos]|add != masks[pos] {
+						masks[pos] |= add
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return masks
+}
+
+// ruleVarMasks computes the kind mask of each variable of r under the
+// current position masks: body variables intersect their positive
+// occurrence positions, assignment and aggregate variables take their
+// expression's mask, and existential variables are labelled nulls.
+func ruleVarMasks(r *ast.Rule, masks map[analysis.Position]kindMask) map[string]kindMask {
+	vm := make(map[string]kindMask)
+	seen := make(map[string]bool)
+	for _, a := range r.Body {
+		if a.Negated || a.Pred == ast.DomPred {
+			continue
+		}
+		for i, arg := range a.Args {
+			if !arg.IsVar || arg.Var == "_" {
+				continue
+			}
+			m := masks[analysis.Position{Pred: a.Pred, Idx: i}]
+			if !seen[arg.Var] {
+				seen[arg.Var] = true
+				vm[arg.Var] = m
+			} else {
+				vm[arg.Var] &= m
+			}
+		}
+	}
+	expr := func(e ast.Expr) kindMask { return exprMask(e, vm) }
+	for _, asg := range r.Assignments {
+		vm[asg.Var] = expr(asg.Expr)
+	}
+	if agg := r.Aggregate; agg != nil {
+		am := expr(agg.Arg)
+		switch agg.Func {
+		case "mcount":
+			vm[agg.Result] = mInt
+		case "munion":
+			vm[agg.Result] = mSet
+		case "msum", "mprod":
+			vm[agg.Result] = am & mNumeric
+		default: // mmin, mmax preserve the argument's kinds
+			vm[agg.Result] = am
+		}
+	}
+	for _, v := range r.Existentials() {
+		vm[v] = mNull
+	}
+	// Variables grounded only through dom(V) range over the active
+	// domain: any ground kind.
+	for _, v := range r.DomVars {
+		if !seen[v] {
+			vm[v] = mAny &^ mNull
+		}
+	}
+	return vm
+}
+
+// exprMask infers the kinds an expression can evaluate to, given the
+// masks of the variables it reads.
+func exprMask(e ast.Expr, vm map[string]kindMask) kindMask {
+	switch x := e.(type) {
+	case ast.ConstExpr:
+		return kindBit(x.Val.Kind())
+	case ast.VarExpr:
+		if m, ok := vm[x.Name]; ok {
+			return m
+		}
+		return mAny
+	case ast.BinExpr:
+		switch x.Op {
+		case "&&", "||":
+			return mBool
+		case "+":
+			l, r := exprMask(x.L, vm), exprMask(x.R, vm)
+			m := (l | r) & (mNumeric | mString)
+			if m == 0 {
+				m = mNumeric | mString
+			}
+			return m
+		case "^":
+			return mFloat
+		default: // - * / %
+			return mNumeric
+		}
+	case ast.FuncExpr:
+		if x.IsSkolem() {
+			return mNull
+		}
+		switch x.Name {
+		case "startsWith", "endsWith", "contains":
+			return mBool
+		case "indexOf", "length":
+			return mInt
+		case "substring", "upper", "lower", "concat", "toString":
+			return mString
+		case "toInt":
+			return mInt
+		case "toFloat":
+			return mFloat
+		case "abs":
+			return mNumeric
+		case "min", "max":
+			var m kindMask
+			for _, a := range x.Args {
+				m |= exprMask(a, vm)
+			}
+			if m == 0 {
+				m = mAny
+			}
+			return m
+		default:
+			return mAny
+		}
+	default:
+		return mAny
+	}
+}
+
+// checkJoinTypes reports join variables whose positive body occurrences
+// sit in positions with disjoint inferred kinds (T001): no pair of facts
+// can ever agree on the variable, so the join is statically empty.
+func (c *checker) checkJoinTypes(masks map[analysis.Position]kindMask) {
+	for _, r := range c.prog.Rules {
+		type occ struct {
+			atom      string
+			idx       int
+			line, col int
+			mask      kindMask
+		}
+		occs := make(map[string][]occ)
+		var order []string
+		for _, a := range r.Body {
+			if a.Negated || a.Pred == ast.DomPred {
+				continue
+			}
+			for i, arg := range a.Args {
+				if !arg.IsVar || arg.Var == "_" {
+					continue
+				}
+				if len(occs[arg.Var]) == 0 {
+					order = append(order, arg.Var)
+				}
+				occs[arg.Var] = append(occs[arg.Var], occ{
+					atom: a.Pred, idx: i, line: arg.Line, col: arg.Col,
+					mask: masks[analysis.Position{Pred: a.Pred, Idx: i}],
+				})
+			}
+		}
+		for _, v := range order {
+			os := occs[v]
+			if len(os) < 2 {
+				continue
+			}
+			inter := mAny
+			known := true
+			for _, o := range os {
+				if o.mask == 0 {
+					known = false // nothing flows here yet: vacuous, not a conflict
+					break
+				}
+				inter &= o.mask
+			}
+			if !known || inter != 0 {
+				continue
+			}
+			// Find a witness pair with disjoint masks for the message.
+			wi, wj := 0, 1
+			for i := 0; i < len(os) && os[wi].mask&os[wj].mask != 0; i++ {
+				for j := i + 1; j < len(os); j++ {
+					if os[i].mask&os[j].mask == 0 {
+						wi, wj = i, j
+					}
+				}
+			}
+			a, b := os[wi], os[wj]
+			d := c.add(Warning, "T001", b.line, b.col,
+				"join variable %s can never unify: %s[%d] holds %s but %s[%d] holds %s",
+				v, b.atom, b.idx, b.mask, a.atom, a.idx, a.mask)
+			d.Related = append(d.Related, Related{
+				Pos:     c.pos(a.line, a.col),
+				Message: fmt.Sprintf("%s[%d] inferred as %s", a.atom, a.idx, a.mask),
+			})
+		}
+	}
+}
+
+// checkAggregates reports msum/mprod whose aggregated expression is
+// inferred non-numeric (T003): the engine rejects the first firing at
+// runtime, so surface it statically.
+func (c *checker) checkAggregates(masks map[analysis.Position]kindMask) {
+	for _, r := range c.prog.Rules {
+		agg := r.Aggregate
+		if agg == nil || (agg.Func != "msum" && agg.Func != "mprod") {
+			continue
+		}
+		vm := ruleVarMasks(r, masks)
+		m := exprMask(agg.Arg, vm)
+		if m != 0 && m&mNumeric == 0 {
+			c.add(Error, "T003", agg.Line, agg.Col,
+				"%s aggregates a non-numeric argument (inferred %s)", agg.Func, m)
+		}
+	}
+}
+
+// condBound is one side of a variable's inferred numeric interval.
+type condBound struct {
+	val    float64
+	strict bool
+}
+
+// condState accumulates the constraints a rule's conditions place on one
+// variable: a numeric interval, a required equality, and disequalities.
+type condState struct {
+	lo, hi  *condBound
+	eq      *term.Value
+	neq     []term.Value
+	condPos [][2]int // every contributing condition, for related info
+}
+
+func (s *condState) tightenLo(f float64, strict bool) {
+	if s.lo == nil || f > s.lo.val || (f == s.lo.val && strict) {
+		s.lo = &condBound{val: f, strict: strict}
+	}
+}
+
+func (s *condState) tightenHi(f float64, strict bool) {
+	if s.hi == nil || f < s.hi.val || (f == s.hi.val && strict) {
+		s.hi = &condBound{val: f, strict: strict}
+	}
+}
+
+// checkConditions reports condition sets that no binding can satisfy
+// (T002): contradictory bounds (X > 5, X < 3), conflicting equalities,
+// an equality excluded by a disequality, or self-contradictions (X != X).
+func (c *checker) checkConditions() {
+	for _, r := range c.prog.Rules {
+		states := make(map[string]*condState)
+		get := func(v string) *condState {
+			s := states[v]
+			if s == nil {
+				s = &condState{}
+				states[v] = s
+			}
+			return s
+		}
+		report := func(v string, line, col int, format string, args ...any) {
+			d := c.add(Warning, "T002", line, col,
+				"conditions on %s are unsatisfiable: %s", v, fmt.Sprintf(format, args...))
+			for _, p := range states[v].condPos {
+				if p[0] == line && p[1] == col {
+					continue
+				}
+				d.Related = append(d.Related, Related{
+					Pos:     c.pos(p[0], p[1]),
+					Message: fmt.Sprintf("conflicting condition on %s", v),
+				})
+			}
+		}
+		done := make(map[string]bool)
+		for _, cond := range r.Conds {
+			v, cval, op, ok := varConstCond(cond)
+			if !ok {
+				// X op X with the same variable on both sides is decidable
+				// without constants.
+				if lv, lok := cond.L.(ast.VarExpr); lok {
+					if rv, rok := cond.R.(ast.VarExpr); rok && lv.Name == rv.Name {
+						switch cond.Op {
+						case ast.CmpNeq, ast.CmpLt, ast.CmpGt:
+							c.add(Warning, "T002", cond.Line, cond.Col,
+								"conditions on %s are unsatisfiable: %s %s %s can never hold",
+								lv.Name, lv.Name, cond.Op, lv.Name)
+						}
+					}
+				}
+				continue
+			}
+			if done[v] {
+				continue
+			}
+			s := get(v)
+			s.condPos = append(s.condPos, [2]int{cond.Line, cond.Col})
+			switch op {
+			case ast.CmpEq:
+				if s.eq != nil && !term.Equal(*s.eq, cval) {
+					report(v, cond.Line, cond.Col, "%s == %s conflicts with %s == %s",
+						v, ast.SourceString(cval), v, ast.SourceString(*s.eq))
+					done[v] = true
+					continue
+				}
+				cv := cval
+				s.eq = &cv
+			case ast.CmpNeq:
+				s.neq = append(s.neq, cval)
+			default:
+				if !cval.IsNumeric() {
+					continue
+				}
+				f := cval.FloatVal()
+				switch op {
+				case ast.CmpLt:
+					s.tightenHi(f, true)
+				case ast.CmpLe:
+					s.tightenHi(f, false)
+				case ast.CmpGt:
+					s.tightenLo(f, true)
+				case ast.CmpGe:
+					s.tightenLo(f, false)
+				}
+			}
+			// Re-evaluate satisfiability after each contribution so the
+			// diagnostic lands on the condition that closed the interval.
+			if s.lo != nil && s.hi != nil &&
+				(s.lo.val > s.hi.val || (s.lo.val == s.hi.val && (s.lo.strict || s.hi.strict))) {
+				report(v, cond.Line, cond.Col, "bounds %s and %s exclude every value",
+					renderLo(s.lo.val, s.lo.strict), renderHi(s.hi.val, s.hi.strict))
+				done[v] = true
+				continue
+			}
+			if s.eq != nil {
+				bad := ""
+				if s.eq.IsNumeric() {
+					f := s.eq.FloatVal()
+					if s.lo != nil && (f < s.lo.val || (f == s.lo.val && s.lo.strict)) {
+						bad = fmt.Sprintf("%s == %s violates %s", v, ast.SourceString(*s.eq), renderLo(s.lo.val, s.lo.strict))
+					}
+					if s.hi != nil && (f > s.hi.val || (f == s.hi.val && s.hi.strict)) {
+						bad = fmt.Sprintf("%s == %s violates %s", v, ast.SourceString(*s.eq), renderHi(s.hi.val, s.hi.strict))
+					}
+				}
+				for _, nv := range s.neq {
+					if term.Equal(*s.eq, nv) {
+						bad = fmt.Sprintf("%s == %s conflicts with %s != %s",
+							v, ast.SourceString(*s.eq), v, ast.SourceString(nv))
+					}
+				}
+				if bad != "" {
+					report(v, cond.Line, cond.Col, "%s", bad)
+					done[v] = true
+				}
+			}
+		}
+	}
+}
+
+// renderLo/renderHi format interval bounds for messages.
+func renderLo(v float64, strict bool) string {
+	op := ">="
+	if strict {
+		op = ">"
+	}
+	return fmt.Sprintf("%s %s", op, trimFloat(v))
+}
+
+func renderHi(v float64, strict bool) string {
+	op := "<="
+	if strict {
+		op = "<"
+	}
+	return fmt.Sprintf("%s %s", op, trimFloat(v))
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// varConstCond decomposes a condition into (variable, constant, op) when
+// one side is a plain variable and the other a constant, normalizing the
+// operator so the variable is on the left.
+func varConstCond(c ast.Condition) (string, term.Value, ast.CmpOp, bool) {
+	if lv, ok := c.L.(ast.VarExpr); ok {
+		if rc, ok := c.R.(ast.ConstExpr); ok {
+			return lv.Name, rc.Val, c.Op, true
+		}
+	}
+	if lc, ok := c.L.(ast.ConstExpr); ok {
+		if rv, ok := c.R.(ast.VarExpr); ok {
+			return rv.Name, lc.Val, flipCmp(c.Op), true
+		}
+	}
+	return "", term.Value{}, 0, false
+}
+
+func flipCmp(op ast.CmpOp) ast.CmpOp {
+	switch op {
+	case ast.CmpLt:
+		return ast.CmpGt
+	case ast.CmpLe:
+		return ast.CmpGe
+	case ast.CmpGt:
+		return ast.CmpLt
+	case ast.CmpGe:
+		return ast.CmpLe
+	default:
+		return op
+	}
+}

@@ -1,0 +1,45 @@
+package parser
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"repro/internal/ast"
+)
+
+// Error is a positioned syntax error. Every error produced by the lexer
+// and parser is an *Error, so callers (diagnostics, editors) can recover
+// the source location with errors.As instead of scraping the message.
+type Error struct {
+	File      string // "" when the source did not come from a file
+	Line, Col int    // 1-based position of the offending token
+	Msg       string
+}
+
+// Error renders the go-vet-style "file:line:col: message" form, or the
+// historical "parser: line:col: message" form when no file is known.
+func (e *Error) Error() string {
+	if e.File != "" {
+		return fmt.Sprintf("%s:%d:%d: %s", e.File, e.Line, e.Col, e.Msg)
+	}
+	return fmt.Sprintf("parser: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// ParseFile reads and parses a Vadalog program from path, labelling any
+// syntax error with the filename.
+func ParseFile(path string) (*ast.Program, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := Parse(string(src))
+	if err != nil {
+		var pe *Error
+		if errors.As(err, &pe) {
+			pe.File = path
+		}
+		return nil, err
+	}
+	return prog, nil
+}

@@ -1,0 +1,58 @@
+package parser
+
+import (
+	"testing"
+)
+
+// fuzzSeeds covers every surface form the grammar accepts: facts of
+// each literal kind, rules with negation, conditions, assignments,
+// aggregates with contributor groups, existentials, constraints, EGDs,
+// dom guards, every annotation, comments and the %% modulo operator.
+var fuzzSeeds = []string{
+	`own("a","b",0.6).`,
+	`age("bob", 42). flag(#t). flag(#f). pi(3.5e-2).`,
+	`weird("line\nbreak\t\"quoted\"", "é\U0001F600").`,
+	`own(X,Y,W), W > 0.5 -> control(X,Y).`,
+	`control(X,Y), own(Y,Z,W), V = msum(W, <Y>), V > 0.5 -> control(X,Z).`,
+	`company(X) -> keyPerson(P, X).`,
+	`node(X), not bad(X) -> good(X).`,
+	`own(X,X,W) -> #fail.`,
+	`p(X,Y), p(X,Z) -> Y = Z.`,
+	`dom(*), p(X,Y) -> q(X,Y).`,
+	`dom(Y), p(X,Y) -> q(X,Y).`,
+	`emp(N,S), T = S * 2 + 1, U = S %% 7 -> out(N, T, U).`,
+	`p(X), Z = #f(X, 1) -> q(Z).`,
+	`p(X), J = munion(X) -> s(J).`,
+	`p(X), W = mcount(X, <X>) -> c(W).`,
+	"% a comment\np(X) -> q(X). % trailing\n",
+	`@input("own"). @output("control"). own(X,Y,W) -> control(X,Y).`,
+	`@bind("own","csv","/tmp/own.csv"). @mapping("own","src","dst","w"). own(X,Y,W) -> control(X,Y). @output("control").`,
+	`@qbind("own","csv","/tmp/own.csv","$3 > 0.5"). own(X,Y,W) -> control(X,Y).`,
+	`@post("control","orderBy",2). @post("control","certain"). own(X,Y,W) -> control(X,Y). @output("control").`,
+	`p(X), X >= 1, X <= 10, X != 5 -> q(X).`,
+	`p(A), Q = concat(toString(A), "s"), L = length(Q) -> r(Q, L).`,
+}
+
+// FuzzParse checks that the parser never panics, and that the renderer
+// is a fixpoint of parsing: any program the parser accepts must render
+// to a string that reparses to an identically-rendered program. This is
+// the invariant the golden lint positions and vet output lean on.
+func FuzzParse(f *testing.F) {
+	for _, seed := range fuzzSeeds {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		s1 := prog.String()
+		prog2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("rendered program does not reparse: %v\nsource: %q\nrendered: %q", err, src, s1)
+		}
+		if s2 := prog2.String(); s2 != s1 {
+			t.Fatalf("renderer is not a fixpoint:\nfirst:  %q\nsecond: %q\nsource: %q", s1, s2, src)
+		}
+	})
+}

@@ -121,7 +121,7 @@ type lexer struct {
 func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
 
 func (l *lexer) errorf(format string, args ...any) error {
-	return fmt.Errorf("parser: %d:%d: %s", l.line, l.col, fmt.Sprintf(format, args...))
+	return &Error{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (l *lexer) peekByte() byte {
@@ -308,14 +308,47 @@ func (l *lexer) lexString() (token, error) {
 			if l.pos >= len(l.src) {
 				return t, l.errorf("unterminated escape in string literal")
 			}
+			// The escape set matches what strconv.Quote emits, so any
+			// rendered string constant parses back to the same value.
 			e := l.advance()
 			switch e {
 			case 'n':
 				sb.WriteByte('\n')
 			case 't':
 				sb.WriteByte('\t')
-			case '\\', '"':
+			case 'r':
+				sb.WriteByte('\r')
+			case 'a':
+				sb.WriteByte('\a')
+			case 'b':
+				sb.WriteByte('\b')
+			case 'f':
+				sb.WriteByte('\f')
+			case 'v':
+				sb.WriteByte('\v')
+			case '\\', '"', '\'':
 				sb.WriteByte(e)
+			case 'x':
+				v, err := l.hexDigits(2)
+				if err != nil {
+					return t, err
+				}
+				sb.WriteByte(byte(v))
+			case 'u':
+				v, err := l.hexDigits(4)
+				if err != nil {
+					return t, err
+				}
+				sb.WriteRune(rune(v))
+			case 'U':
+				v, err := l.hexDigits(8)
+				if err != nil {
+					return t, err
+				}
+				if v > 0x10FFFF {
+					return t, l.errorf("rune escape \\U%08X out of range", v)
+				}
+				sb.WriteRune(rune(v))
 			default:
 				return t, l.errorf("unknown escape \\%c", e)
 			}
@@ -325,6 +358,30 @@ func (l *lexer) lexString() (token, error) {
 			sb.WriteByte(c)
 		}
 	}
+}
+
+// hexDigits consumes exactly n hex digits and returns their value.
+func (l *lexer) hexDigits(n int) (uint32, error) {
+	var v uint32
+	for i := 0; i < n; i++ {
+		if l.pos >= len(l.src) {
+			return 0, l.errorf("unterminated escape in string literal")
+		}
+		c := l.advance()
+		var d uint32
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint32(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint32(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint32(c-'A') + 10
+		default:
+			return 0, l.errorf("bad hex digit %q in string escape", c)
+		}
+		v = v<<4 | d
+	}
+	return v, nil
 }
 
 func (l *lexer) lexNumber() (token, error) {

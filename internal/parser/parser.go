@@ -32,9 +32,9 @@ func Parse(src string) (*ast.Program, error) {
 			return nil, err
 		}
 	}
-	if _, err := prog.Predicates(); err != nil {
-		return nil, err
-	}
+	// Arity consistency is deliberately NOT checked here: the lint layer
+	// reports drift per use site (A001) and the engines reject it at
+	// compile time via Program.Predicates.
 	return prog, nil
 }
 
@@ -75,7 +75,7 @@ func (p *parser) advance() error {
 }
 
 func (p *parser) errorf(format string, args ...any) error {
-	return fmt.Errorf("parser: %d:%d: %s", p.tok.line, p.tok.col, fmt.Sprintf(format, args...))
+	return &Error{Line: p.tok.line, Col: p.tok.col, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (p *parser) expect(k tokKind) (token, error) {
@@ -233,7 +233,8 @@ func (p *parser) annotation(prog *ast.Program) error {
 
 // ruleOrFact parses `body -> head .` or `atom .` (a fact).
 func (p *parser) ruleOrFact(prog *ast.Program) error {
-	rule := &ast.Rule{}
+	start := p.tok
+	rule := &ast.Rule{Line: start.line, Col: start.col}
 	if err := p.body(rule); err != nil {
 		return err
 	}
@@ -249,7 +250,7 @@ func (p *parser) ruleOrFact(prog *ast.Program) error {
 		if a.Negated {
 			return p.errorf("a fact cannot be negated")
 		}
-		f := ast.Fact{Pred: a.Pred}
+		f := ast.Fact{Pred: a.Pred, Line: a.Line, Col: a.Col}
 		for _, arg := range a.Args {
 			if arg.IsVar {
 				return p.errorf("fact %s contains variable %s", a.Pred, arg.Var)
@@ -269,7 +270,7 @@ func (p *parser) ruleOrFact(prog *ast.Program) error {
 		return err
 	}
 	if err := validateRule(rule); err != nil {
-		return err
+		return &Error{Line: rule.Line, Col: rule.Col, Msg: err.Error()}
 	}
 	prog.AddRule(rule)
 	return nil
@@ -292,6 +293,7 @@ func (p *parser) body(rule *ast.Rule) error {
 }
 
 func (p *parser) bodyItem(rule *ast.Rule) error {
+	start := p.tok
 	switch p.tok.kind {
 	case tokNot:
 		if err := p.advance(); err != nil {
@@ -315,14 +317,14 @@ func (p *parser) bodyItem(rule *ast.Rule) error {
 			if err := p.advance(); err != nil {
 				return err
 			}
-			return p.assignmentOrAggregate(rule, name)
+			return p.assignmentOrAggregate(rule, name, start)
 		}
 		// Condition with left side an expression starting at `name`.
 		left, err := p.exprContinue(ast.VarExpr{Name: name})
 		if err != nil {
 			return err
 		}
-		return p.conditionTail(rule, left)
+		return p.conditionTail(rule, left, start)
 	case tokIdent:
 		// Could be an atom `p(...)` or a condition starting with a function
 		// call or constant. An identifier followed by '(' is an atom unless
@@ -332,7 +334,7 @@ func (p *parser) bodyItem(rule *ast.Rule) error {
 			return err
 		}
 		if p.tok.kind == tokLParen && !builtinFunc(name) {
-			a, err := p.atomArgs(name)
+			a, err := p.atomArgs(name, start)
 			if err != nil {
 				return err
 			}
@@ -367,19 +369,20 @@ func (p *parser) bodyItem(rule *ast.Rule) error {
 		if err != nil {
 			return err
 		}
-		return p.conditionTail(rule, left)
+		return p.conditionTail(rule, left, start)
 	default:
 		// Condition starting with a literal or parenthesized expression.
 		left, err := p.expr()
 		if err != nil {
 			return err
 		}
-		return p.conditionTail(rule, left)
+		return p.conditionTail(rule, left, start)
 	}
 }
 
-// assignmentOrAggregate parses the right side of `Var = ...` in a body.
-func (p *parser) assignmentOrAggregate(rule *ast.Rule, name string) error {
+// assignmentOrAggregate parses the right side of `Var = ...` in a body;
+// start is the token of the assigned variable, stamped onto the result.
+func (p *parser) assignmentOrAggregate(rule *ast.Rule, name string, start token) error {
 	if p.tok.kind == tokIdent && AggregateFuncs[p.tok.text] {
 		fn := p.tok.text
 		if err := p.advance(); err != nil {
@@ -423,18 +426,20 @@ func (p *parser) assignmentOrAggregate(rule *ast.Rule, name string) error {
 		if rule.Aggregate != nil {
 			return p.errorf("a rule may contain at most one aggregation")
 		}
-		rule.Aggregate = &ast.AggregateSpec{Result: name, Func: fn, Arg: arg, Contributors: contributors}
+		rule.Aggregate = &ast.AggregateSpec{Result: name, Func: fn, Arg: arg, Contributors: contributors, Line: start.line, Col: start.col}
 		return nil
 	}
 	e, err := p.expr()
 	if err != nil {
 		return err
 	}
-	rule.Assignments = append(rule.Assignments, ast.Assignment{Var: name, Expr: e})
+	rule.Assignments = append(rule.Assignments, ast.Assignment{Var: name, Expr: e, Line: start.line, Col: start.col})
 	return nil
 }
 
-func (p *parser) conditionTail(rule *ast.Rule, left ast.Expr) error {
+// conditionTail parses the operator and right side of a condition; start
+// is the first token of the left expression, stamped onto the condition.
+func (p *parser) conditionTail(rule *ast.Rule, left ast.Expr, start token) error {
 	var op ast.CmpOp
 	switch p.tok.kind {
 	case tokEq:
@@ -459,7 +464,7 @@ func (p *parser) conditionTail(rule *ast.Rule, left ast.Expr) error {
 	if err != nil {
 		return err
 	}
-	rule.Conds = append(rule.Conds, ast.Condition{Op: op, L: left, R: right})
+	rule.Conds = append(rule.Conds, ast.Condition{Op: op, L: left, R: right, Line: start.line, Col: start.col})
 	return nil
 }
 
@@ -504,34 +509,37 @@ func (p *parser) head(rule *ast.Rule) error {
 }
 
 func (p *parser) atom() (ast.Atom, error) {
-	name, err := p.expect(tokIdent)
-	if err != nil {
+	name := p.tok
+	if _, err := p.expect(tokIdent); err != nil {
 		return ast.Atom{}, err
 	}
-	return p.atomArgs(name.text)
+	return p.atomArgs(name.text, name)
 }
 
 // atomArgs parses '(' term {',' term} ')' for predicate pred; '*' yields
-// the dom(*) guard.
-func (p *parser) atomArgs(pred string) (ast.Atom, error) {
+// the dom(*) guard. start is the predicate-name token; its position is
+// stamped onto the atom (and each argument token's onto its Arg).
+func (p *parser) atomArgs(pred string, start token) (ast.Atom, error) {
 	if _, err := p.expect(tokLParen); err != nil {
 		return ast.Atom{}, err
 	}
-	a := ast.Atom{Pred: pred}
+	a := ast.Atom{Pred: pred, Line: start.line, Col: start.col}
 	if p.tok.kind == tokStar {
+		star := p.tok
 		if err := p.advance(); err != nil {
 			return ast.Atom{}, err
 		}
 		if _, err := p.expect(tokRParen); err != nil {
 			return ast.Atom{}, err
 		}
-		a.Args = []ast.Arg{ast.V("*")}
+		a.Args = []ast.Arg{{IsVar: true, Var: "*", Line: star.line, Col: star.col}}
 		return a, nil
 	}
 	for p.tok.kind != tokRParen {
+		at := p.tok
 		switch p.tok.kind {
 		case tokVar:
-			a.Args = append(a.Args, ast.V(p.tok.text))
+			a.Args = append(a.Args, ast.Arg{IsVar: true, Var: at.text, Line: at.line, Col: at.col})
 			if err := p.advance(); err != nil {
 				return ast.Atom{}, err
 			}
@@ -540,7 +548,7 @@ func (p *parser) atomArgs(pred string) (ast.Atom, error) {
 			if err != nil {
 				return ast.Atom{}, err
 			}
-			a.Args = append(a.Args, ast.C(v))
+			a.Args = append(a.Args, ast.Arg{Const: v, Line: at.line, Col: at.col})
 		}
 		if p.tok.kind == tokComma {
 			if err := p.advance(); err != nil {
@@ -811,16 +819,17 @@ func builtinFunc(name string) bool {
 }
 
 // validateRule runs the structural checks that are independent of the
-// whole-program analysis.
+// whole-program analysis. Messages carry no position or "parser:" prefix;
+// the caller wraps them in a positioned *Error at the rule's location.
 func validateRule(r *ast.Rule) error {
 	if len(r.Heads) == 0 && !r.IsConstraint && r.EGD == nil {
-		return fmt.Errorf("parser: rule %s has no head", r.String())
+		return fmt.Errorf("rule %s has no head", r.String())
 	}
 	bound := r.BoundVars()
 	for _, c := range r.Conds {
 		for _, v := range c.L.Vars(c.R.Vars(nil)) {
 			if !bound[v] {
-				return fmt.Errorf("parser: condition variable %s is unbound in %s", v, r.String())
+				return fmt.Errorf("condition variable %s is unbound in %s", v, r.String())
 			}
 		}
 	}
@@ -828,9 +837,9 @@ func validateRule(r *ast.Rule) error {
 		for _, v := range asg.Expr.Vars(nil) {
 			if !bound[v] || v == asg.Var {
 				if v == asg.Var {
-					return fmt.Errorf("parser: assignment %s is self-referential", asg.Var)
+					return fmt.Errorf("assignment %s is self-referential", asg.Var)
 				}
-				return fmt.Errorf("parser: assignment to %s reads unbound variable %s", asg.Var, v)
+				return fmt.Errorf("assignment to %s reads unbound variable %s", asg.Var, v)
 			}
 		}
 	}
@@ -841,12 +850,12 @@ func validateRule(r *ast.Rule) error {
 		}
 		for _, v := range r.Aggregate.Arg.Vars(nil) {
 			if !bodyVars[v] {
-				return fmt.Errorf("parser: aggregate argument reads unbound variable %s", v)
+				return fmt.Errorf("aggregate argument reads unbound variable %s", v)
 			}
 		}
 		for _, c := range r.Aggregate.Contributors {
 			if !bodyVars[c] {
-				return fmt.Errorf("parser: aggregate contributor %s is unbound", c)
+				return fmt.Errorf("aggregate contributor %s is unbound", c)
 			}
 		}
 	}
@@ -856,7 +865,7 @@ func validateRule(r *ast.Rule) error {
 			bodyVars[v] = true
 		}
 		if !bodyVars[r.EGD.Left] || !bodyVars[r.EGD.Right] {
-			return fmt.Errorf("parser: EGD head variables must occur in the body")
+			return fmt.Errorf("EGD head variables must occur in the body")
 		}
 	}
 	// Negated atoms must be safe: every variable bound positively.
@@ -870,7 +879,7 @@ func validateRule(r *ast.Rule) error {
 		}
 		for _, arg := range a.Args {
 			if arg.IsVar && arg.Var != "_" && !posVars[arg.Var] {
-				return fmt.Errorf("parser: variable %s of negated atom %s is not bound positively", arg.Var, a.String())
+				return fmt.Errorf("variable %s of negated atom %s is not bound positively", arg.Var, a.String())
 			}
 		}
 	}

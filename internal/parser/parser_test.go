@@ -298,11 +298,17 @@ func TestRoundTrip(t *testing.T) {
 }
 
 func TestArityMismatchRejected(t *testing.T) {
-	_, err := Parse(`
+	// Parse itself accepts arity drift (the lint layer reports it per use
+	// site as A001); Predicates(), which every engine consults at compile
+	// time, rejects it.
+	prog, err := Parse(`
 		p(X) -> q(X).
 		p(X,Y) -> r(X).
 	`)
-	if err == nil || !strings.Contains(err.Error(), "arities") {
-		t.Fatalf("want arity error, got %v", err)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := prog.Predicates(); err == nil || !strings.Contains(err.Error(), "arities") {
+		t.Fatalf("want arity error from Predicates, got %v", err)
 	}
 }

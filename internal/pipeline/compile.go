@@ -2,12 +2,12 @@ package pipeline
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/analysis"
 	"repro/internal/ast"
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/lint"
 	"repro/internal/planner"
 	"repro/internal/rewrite"
 	"repro/internal/storage"
@@ -60,8 +60,10 @@ func Compile(prog *ast.Program, opts Options) (*Compiled, error) {
 		return nil, err
 	}
 	res := analysis.Analyze(rw.Program)
-	if opts.RequireWarded && !res.Warded {
-		return nil, fmt.Errorf("pipeline: program is not warded: %s", strings.Join(res.Violations, "; "))
+	if opts.RequireWarded {
+		if err := lint.RequireWarded(res); err != nil {
+			return nil, fmt.Errorf("pipeline: %w", err)
+		}
 	}
 	c := &Compiled{
 		opts:      opts,

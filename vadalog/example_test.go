@@ -171,3 +171,24 @@ func ExampleReasoner_Stream() {
 	// path(b,c)
 	// path(a,d)
 }
+
+// ExampleReasoner_Diagnostics compiles with static analysis enabled and
+// reads the positioned findings. Lint is purely observational — the
+// reasoning output is byte-identical with it on or off; Options.Strict
+// additionally turns warnings into compile errors.
+func ExampleReasoner_Diagnostics() {
+	prog := vadalog.MustParse(`company(X) -> keyPerson(P, X).
+control(X,Y), keyPerson(P,X), control(X2,Y) -> keyPerson(P,Y).
+@output("keyPerson").
+`)
+	reasoner, err := vadalog.Compile(prog, &vadalog.Options{Lint: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range reasoner.Diagnostics() {
+		fmt.Println(d)
+	}
+	// Output:
+	// 1:25: S001: head variable P has no body occurrence: existentially quantified (each firing mints a labelled null)
+	// 2:39: D002: variable X2 occurs only once in the rule (typo? use _ to ignore a position)
+}

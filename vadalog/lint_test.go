@@ -1,0 +1,108 @@
+package vadalog_test
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/vadalog"
+)
+
+// lintTestProgram carries one diagnostic of every severity: S001 (info,
+// existential P), D002 (warning, singleton X2) — enough to exercise
+// Lint and Strict without being an error-level program.
+const lintTestProgram = `
+	company(X) -> keyPerson(P, X).
+	control(X,Y), keyPerson(P,X), control(X2,Y) -> keyPerson(P,Y).
+	@output("keyPerson").
+`
+
+func lintTestFacts() []vadalog.Fact {
+	return []vadalog.Fact{
+		vadalog.MakeFact("company", vadalog.Str("acme")),
+		vadalog.MakeFact("control", vadalog.Str("acme"), vadalog.Str("sub")),
+	}
+}
+
+func renderedOutput(t *testing.T, opts *vadalog.Options) string {
+	t.Helper()
+	r, err := vadalog.Compile(vadalog.MustParse(lintTestProgram), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Query(context.Background(), lintTestFacts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, f := range res.Output("keyPerson") {
+		lines = append(lines, f.String())
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// TestLintDoesNotChangeOutput pins the acceptance criterion that Lint
+// is observational: reasoning output is byte-identical with it on or
+// off, on both engines.
+func TestLintDoesNotChangeOutput(t *testing.T) {
+	for _, engine := range []vadalog.Engine{vadalog.EnginePipeline, vadalog.EngineChase} {
+		plain := renderedOutput(t, &vadalog.Options{Engine: engine})
+		linted := renderedOutput(t, &vadalog.Options{Engine: engine, Lint: true})
+		if plain != linted {
+			t.Errorf("engine %d: output differs with Lint on:\n--- off ---\n%s\n--- on ---\n%s", engine, plain, linted)
+		}
+		if plain == "" {
+			t.Errorf("engine %d: no output at all", engine)
+		}
+	}
+}
+
+func TestDiagnosticsOnlyWithLint(t *testing.T) {
+	prog := vadalog.MustParse(lintTestProgram)
+	r, err := vadalog.Compile(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds := r.Diagnostics(); ds != nil {
+		t.Errorf("Diagnostics without Lint = %v, want nil", ds)
+	}
+	r, err = vadalog.Compile(prog, &vadalog.Options{Lint: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := r.Diagnostics()
+	codes := map[string]bool{}
+	for _, d := range ds {
+		codes[d.Code] = true
+	}
+	if !codes["S001"] || !codes["D002"] {
+		t.Errorf("Diagnostics = %v, want S001 and D002", ds)
+	}
+}
+
+// TestStrictLint pins Strict semantics: warnings become compile errors,
+// info-only programs still compile, and the failure message carries the
+// positioned diagnostics.
+func TestStrictLint(t *testing.T) {
+	if _, err := vadalog.Compile(vadalog.MustParse(lintTestProgram), &vadalog.Options{Strict: true}); err == nil {
+		t.Fatal("Strict compile of a program with warnings succeeded")
+	} else if !strings.Contains(err.Error(), "D002") {
+		t.Errorf("strict error %q does not name the failing code", err)
+	}
+
+	// Info-level findings (the existential) do not fail Strict.
+	infoOnly := vadalog.MustParse(`
+		company(X) -> keyPerson(P, X).
+		control(X,Y), keyPerson(P,X) -> keyPerson(P,Y).
+		@output("keyPerson").
+	`)
+	r, err := vadalog.Compile(infoOnly, &vadalog.Options{Strict: true})
+	if err != nil {
+		t.Fatalf("Strict compile of info-only program: %v", err)
+	}
+	if ds := r.Diagnostics(); len(ds) == 0 {
+		t.Error("Strict compile kept no diagnostics")
+	}
+}

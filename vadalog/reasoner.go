@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"iter"
+	"strings"
 
 	"repro/internal/ast"
 	"repro/internal/chase"
@@ -30,6 +31,7 @@ type Reasoner struct {
 	plc   *pipeline.Compiled
 	chc   *chase.Compiled
 	binds []boundIO // @bind/@qbind annotations resolved against the driver registry
+	diags []Diagnostic
 }
 
 // Compile compiles prog into a shareable Reasoner. opts == nil selects
@@ -41,6 +43,22 @@ func Compile(prog *Program, opts *Options) (*Reasoner, error) {
 		o = *opts
 	}
 	r := &Reasoner{opts: o, prog: prog}
+	if o.Lint || o.Strict {
+		// Lint is read-only: it observes the program as written, before
+		// rewriting, so diagnostics point at the author's source.
+		r.diags = Lint(prog, "")
+		if o.Strict {
+			var bad []string
+			for _, d := range r.diags {
+				if d.Severity >= SeverityWarning {
+					bad = append(bad, d.String())
+				}
+			}
+			if len(bad) > 0 {
+				return nil, fmt.Errorf("vadalog: strict lint failed:\n%s", strings.Join(bad, "\n"))
+			}
+		}
+	}
 	// Bindings are part of the compiled artifact: unknown drivers,
 	// malformed @qbind queries and arity-mismatched @mapping projections
 	// are compile errors, not run errors.
@@ -176,6 +194,11 @@ func (r *Reasoner) Explain() string { return r.NewSession().Explain() }
 
 // Program returns the program the Reasoner was compiled from.
 func (r *Reasoner) Program() *Program { return r.prog }
+
+// Diagnostics returns the static-analysis findings collected at compile
+// time, sorted by source position. It is nil unless the Reasoner was
+// compiled with Options.Lint (or Options.Strict) set.
+func (r *Reasoner) Diagnostics() []Diagnostic { return r.diags }
 
 // Result is the materialized outcome of one reasoning run. Outputs are
 // read through it; a Result only exists for sessions that actually ran,

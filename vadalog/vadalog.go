@@ -42,6 +42,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/chase"
 	"repro/internal/core"
+	"repro/internal/lint"
 	"repro/internal/parser"
 	"repro/internal/pipeline"
 	"repro/internal/term"
@@ -122,6 +123,15 @@ type Options struct {
 	// common-subexpression body sharing is off. Admitted facts are
 	// byte-identical either way; only evaluation order and speed change.
 	DisablePlanner bool
+	// Lint collects the structured diagnostics of the static analysis
+	// layer (wardedness, stratification, arity, dead rules, type
+	// conflicts — see Reasoner.Diagnostics) at compile time. Lint is
+	// read-only: engine output is byte-identical with it on or off.
+	Lint bool
+	// Strict implies Lint and additionally fails Compile when any
+	// diagnostic of Warning severity or above is reported, not just the
+	// errors the engines reject on their own.
+	Strict bool
 	// Parallelism sets how many worker goroutines the chase engine uses to
 	// match each delta batch against a frozen storage epoch; 0 (the
 	// default) selects runtime.GOMAXPROCS(0) and 1 evaluates batches on
@@ -160,8 +170,34 @@ var ErrBudget = errors.New("vadalog: derivation budget exceeded")
 // (see README).
 func Parse(src string) (*Program, error) { return parser.Parse(src) }
 
+// ParseFile reads and parses a Vadalog program from path; syntax errors
+// are labelled file:line:col.
+func ParseFile(path string) (*Program, error) { return parser.ParseFile(path) }
+
 // MustParse parses src and panics on error.
 func MustParse(src string) *Program { return parser.MustParse(src) }
+
+// Diagnostic is one structured static-analysis finding: a stable code
+// (W001 wardedness … T003 aggregate misuse, see package lint), a
+// severity, a source position and a message.
+type Diagnostic = lint.Diagnostic
+
+// Severity ranks a Diagnostic.
+type Severity = lint.Severity
+
+// Diagnostic severities.
+const (
+	SeverityInfo    = lint.Info
+	SeverityWarning = lint.Warning
+	SeverityError   = lint.Error
+)
+
+// Lint runs every static check over prog and returns the diagnostics
+// sorted by source position. file, which may be empty, labels the
+// positions. Lint never mutates prog.
+func Lint(prog *Program, file string) []Diagnostic {
+	return lint.Check(prog, lint.Options{File: file})
+}
 
 // Session is one reasoning session over a program: per-run state (facts,
 // database, strategy) layered over a compiled Reasoner. Sessions are for
