@@ -6,9 +6,11 @@
 // Usage:
 //
 //	vada check program.vada           static wardedness analysis
-//	vada vet [-strict] [-q] targets   positioned lint diagnostics over
+//	vada vet [-strict] [-q] [-json] targets
+//	                                  positioned lint diagnostics over
 //	                                  .vada files, dirs or dir/... trees
-//	                                  (file:line:col: CODE: message)
+//	                                  (file:line:col: CODE: message, or
+//	                                  JSON Lines with -json)
 //	vada run [flags] program.vada     run the reasoning task
 //
 // Run flags:
@@ -33,6 +35,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	iofs "io/fs"
@@ -43,6 +46,8 @@ import (
 	"strings"
 
 	"repro/internal/ast"
+	"repro/internal/lint"
+	"repro/internal/parser"
 	"repro/vadalog"
 )
 
@@ -74,20 +79,23 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: vada check <program> | vada vet [-strict] <files/dirs...> | vada plan <program> | vada run [flags] <program>")
+	fmt.Fprintln(os.Stderr, "usage: vada check <program> | vada vet [-strict] [-json] <files/dirs...> | vada plan <program> | vada run [flags] <program>")
 	os.Exit(2)
 }
 
 // cmdVet lints Vadalog programs and prints positioned diagnostics in the
-// go-vet-style "file:line:col: CODE: message" form. Arguments are .vada
+// go-vet-style "file:line:col: CODE: message" form, or with -json as
+// JSON Lines (one object per diagnostic with the stable fields file,
+// line, col, code, severity, message, related). Arguments are .vada
 // files, directories, or go-style "dir/..." patterns (searched
-// recursively for *.vada). Exit status: 0 when no diagnostic reaches
-// Error severity (Warning with -strict), 1 otherwise, 2 on usage or I/O
-// errors.
+// recursively for *.vada). Files that fail to parse surface as E001
+// errors. Exit status: 0 when no diagnostic reaches Error severity
+// (Warning with -strict), 1 otherwise, 2 on usage or I/O errors.
 func cmdVet(args []string) {
 	fs := flag.NewFlagSet("vet", flag.ExitOnError)
 	strict := fs.Bool("strict", false, "fail on warnings, not just errors")
 	quiet := fs.Bool("q", false, "suppress info diagnostics")
+	asJSON := fs.Bool("json", false, "print diagnostics as JSON Lines")
 	fs.Parse(args)
 	if fs.NArg() == 0 {
 		usage()
@@ -107,24 +115,50 @@ func cmdVet(args []string) {
 	}
 	exit := 0
 	for _, file := range files {
+		var diags []lint.Diagnostic
 		prog, err := vadalog.ParseFile(file)
 		if err != nil {
-			// Syntax errors are already positioned file:line:col.
-			fmt.Fprintln(os.Stdout, err)
-			exit = 1
-			continue
+			diags = []lint.Diagnostic{syntaxDiagnostic(file, err)}
+		} else {
+			diags = vadalog.Lint(prog, file)
 		}
-		for _, d := range vadalog.Lint(prog, file) {
+		for _, d := range diags {
 			if *quiet && d.Severity == vadalog.SeverityInfo {
 				continue
 			}
-			fmt.Println(d)
+			if *asJSON {
+				if err := lint.WriteJSON(os.Stdout, []lint.Diagnostic{d}); err != nil {
+					fmt.Fprintln(os.Stderr, "vada: vet:", err)
+					os.Exit(2)
+				}
+			} else {
+				fmt.Println(d)
+			}
 			if d.Severity >= failSev {
 				exit = 1
 			}
 		}
 	}
 	os.Exit(exit)
+}
+
+// syntaxDiagnostic converts a parse failure into the E001 diagnostic, so
+// unparsable files flow through the same (JSON) rendering as lint
+// findings. Parser errors carry their position; other errors (I/O) are
+// attributed to the file at 0:0.
+func syntaxDiagnostic(file string, err error) lint.Diagnostic {
+	d := lint.Diagnostic{
+		Code:     "E001",
+		Severity: lint.Error,
+		Pos:      lint.Pos{File: file},
+		Message:  err.Error(),
+	}
+	var pe *parser.Error
+	if errors.As(err, &pe) {
+		d.Pos = lint.Pos{File: file, Line: pe.Line, Col: pe.Col}
+		d.Message = pe.Msg
+	}
+	return d
 }
 
 // expandVetTargets resolves vet arguments to .vada files: files are taken

@@ -1,0 +1,75 @@
+// Command vadalint runs the repository's custom static analyzers (see
+// internal/gocheck) over the given package patterns:
+//
+//	go run ./cmd/vadalint ./...
+//
+// It prints go-vet-style positioned findings and exits 1 when any
+// remain unsuppressed. Findings are silenced only by a reasoned
+// allowlist comment on the flagged line, the line above, or the
+// enclosing function's doc comment:
+//
+//	//vadalint:<tag> <reason>
+//
+// Flags:
+//
+//	-list             print the analyzer suite and exit
+//	-only name[,name] run only the named analyzers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/gocheck"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzer suite and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default all)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range gocheck.Analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	suite := gocheck.Analyzers
+	if *only != "" {
+		byName := make(map[string]*gocheck.Analyzer)
+		for _, a := range gocheck.Analyzers {
+			byName[a.Name] = a
+		}
+		suite = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "vadalint: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			suite = append(suite, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := gocheck.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vadalint: %v\n", err)
+		os.Exit(2)
+	}
+	diags := gocheck.Check(pkgs, suite)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "vadalint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -360,6 +360,7 @@ func (st *AggState) Groups() int { return len(st.groups) }
 // setValue collects a distinct-value map into the canonical set constant.
 func setValue(set map[term.Value]bool) term.Value {
 	elems := make([]term.Value, 0, len(set))
+	//vadalint:ordered term.Set dedups and sorts elems into the canonical order itself
 	for v := range set {
 		elems = append(elems, v)
 	}

@@ -106,6 +106,7 @@ func (b *Binding) slotID(s int) (uint32, bool) {
 func (b *Binding) env(cr *CompiledRule, deps []int) map[string]term.Value {
 	clear(b.envBuf)
 	if deps == nil {
+		//vadalint:ordered keyed writes: each variable maps to its own slot's value; Val is a pure read
 		for v, s := range cr.VarSlot {
 			if b.Bound[s] {
 				b.envBuf[v] = b.Val(s)
@@ -154,6 +155,7 @@ type Matcher struct {
 // in Snapshot mode, its read-only counterpart.
 func (mt *Matcher) lookupRows(rel *storage.Relation, pred string, mask uint32, probe []uint32) []int32 {
 	if !mt.Snapshot {
+		//vadalint:frozenwrite guarded by !mt.Snapshot: workers always take the SnapshotLookupIDs branch
 		return rel.LookupIDs(mask, probe)
 	}
 	rows, indexed := rel.SnapshotLookupIDs(mask, probe)
@@ -167,6 +169,7 @@ func (mt *Matcher) lookupRows(rel *storage.Relation, pred string, mask uint32, p
 // path materializes a row slice beyond the index bucket.
 func (mt *Matcher) countRows(rel *storage.Relation, pred string, mask uint32, probe []uint32) int {
 	if !mt.Snapshot {
+		//vadalint:frozenwrite guarded by !mt.Snapshot: workers always take the SnapshotLookupCountIDs branch
 		return rel.LookupCountIDs(mask, probe)
 	}
 	n, indexed := rel.SnapshotLookupCountIDs(mask, probe)
@@ -201,6 +204,7 @@ func unifyPinned(b *Binding, a *CAtom, m *core.FactMeta, ro bool) bool {
 			// Pinned facts are (in practice) stored facts, so interning here
 			// is a lookup; it also keeps exotic callers with foreign metas
 			// decodable.
+			//vadalint:frozenwrite guarded by ro: Snapshot callers pass ro=true and take the IDOf branch
 			id = b.in.Intern(f.Args[i])
 		}
 		s := a.Slot[i]
@@ -443,6 +447,7 @@ func (mt *Matcher) evalAssign(cr *CompiledRule, a *CAssign, b *Binding) (bool, e
 			}
 			b.skArgs = append(b.skArgs, v)
 		}
+		//vadalint:frozenwrite skolem-assign rules are not parSafe: the chase runs them on the serial path only
 		b.Set(a.Slot, mt.DB.Nulls.Skolem(a.SkName, b.skArgs...))
 		return true, nil
 	}
@@ -462,6 +467,7 @@ func (mt *Matcher) InstantiateExistentials(cr *CompiledRule, b *Binding) {
 		for _, s := range ex.ArgSlots {
 			b.skArgs = append(b.skArgs, b.Val(s))
 		}
+		//vadalint:frozenwrite runs on the serial emit/admit path, after workers have returned their bindings
 		b.Set(ex.Slot, mt.DB.Nulls.Skolem(ex.SkName, b.skArgs...))
 	}
 }

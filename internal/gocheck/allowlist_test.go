@@ -1,0 +1,60 @@
+package gocheck
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// vadalintTagRe matches any //vadalint:<tag> comment and captures the
+// tag and the trailing reason text.
+var vadalintTagRe = regexp.MustCompile(`//vadalint:([A-Za-z0-9_-]+)(.*)`)
+
+// TestAllowlistReasons walks every Go file in the repository and fails
+// on any //vadalint: suppression without a reason: a bare tag does not
+// suppress (the analyzers re-emit the finding), so one in the tree is
+// either dead weight or a misunderstanding — both worth failing the
+// build over. Testdata trees are exempt: the fixtures deliberately
+// contain a reasonless tag to pin the needs-a-reason behavior.
+func TestAllowlistReasons(t *testing.T) {
+	root := repoRoot(t)
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || name == ".git" || name == "vendor" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+		line := 0
+		for sc.Scan() {
+			line++
+			for _, m := range vadalintTagRe.FindAllStringSubmatch(sc.Text(), -1) {
+				if strings.TrimSpace(m[2]) == "" {
+					rel, _ := filepath.Rel(root, path)
+					t.Errorf("%s:%d: //vadalint:%s has no reason; suppressions must explain themselves", rel, line, m[1])
+				}
+			}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatalf("walk: %v", err)
+	}
+}

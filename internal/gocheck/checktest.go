@@ -1,0 +1,122 @@
+package gocheck
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// expectation is one `// want "substring"` annotation in a testdata
+// fixture: a diagnostic from the analyzer under test must land on the
+// annotated line and contain the substring.
+type expectation struct {
+	file string
+	line int
+	want string
+	hit  bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+
+// TestingT is the subset of *testing.T the runner needs (avoids
+// importing testing into the non-test package).
+type TestingT interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// RunAnalyzer loads the given patterns (testdata fixture directories,
+// resolved relative to dir) and checks suite's diagnostics against the
+// fixtures' `// want "substring"` annotations: every annotated line must
+// produce a matching diagnostic, and every diagnostic must be annotated.
+// Lines carrying no annotation assert cleanliness, so each fixture is
+// both the flagged and the clean case for its analyzer.
+func RunAnalyzer(t TestingT, dir string, suite []*Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("gocheck: load %v: %v", patterns, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("gocheck: load %v: no packages", patterns)
+	}
+	diags := Check(pkgs, suite)
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+						pos := pkg.Fset.Position(c.Pos())
+						wants = append(wants, &expectation{
+							file: pos.Filename,
+							line: pos.Line,
+							want: unescapeWant(m[1]),
+						})
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+
+	for _, d := range diags {
+		if exp := matchWant(wants, d.Pos, d.Message); exp != nil {
+			exp.hit = true
+			continue
+		}
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	for _, exp := range wants {
+		if !exp.hit {
+			t.Errorf("%s:%d: expected diagnostic containing %q, got none", exp.file, exp.line, exp.want)
+		}
+	}
+}
+
+// matchWant finds the first unconsumed expectation on the diagnostic's
+// line whose substring matches.
+func matchWant(wants []*expectation, pos token.Position, msg string) *expectation {
+	for _, exp := range wants {
+		if exp.hit || exp.file != pos.Filename || exp.line != pos.Line {
+			continue
+		}
+		if strings.Contains(msg, exp.want) {
+			return exp
+		}
+	}
+	return nil
+}
+
+// unescapeWant resolves \" and \\ escapes in a want substring.
+func unescapeWant(s string) string {
+	if !strings.Contains(s, `\`) {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			b.WriteByte(s[i])
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// fixturePattern builds the package pattern for one analyzer's testdata
+// tree, e.g. fixturePattern("maporder") =
+// "./internal/gocheck/testdata/src/maporder/...".
+func fixturePattern(name string) string {
+	return fmt.Sprintf("./internal/gocheck/testdata/src/%s/...", name)
+}

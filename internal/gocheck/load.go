@@ -1,0 +1,140 @@
+package gocheck
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns (package paths, ./... patterns, or directories —
+// including explicit testdata directories, which the go tool accepts
+// when named directly) to type-checked target packages. Dependencies are
+// imported from compiler export data produced by `go list -export`, so
+// the loader needs no source for anything but the targets themselves and
+// no tooling beyond the Go toolchain. dir is the working directory for
+// the go tool ("" = current).
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,DepOnly,ImportMap,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("gocheck: go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	importMaps := make(map[string]map[string]string)
+	var targets []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("gocheck: go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("gocheck: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if len(p.ImportMap) > 0 {
+			importMaps[p.ImportPath] = p.ImportMap
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	// The lookup importer resolves every import from the export data the
+	// go tool just wrote; one importer serves all targets because the
+	// module graph maps each import path to a single package.
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("gocheck: %v", err)
+			}
+			files = append(files, f)
+		}
+		conf := types.Config{Importer: remapImporter{imp: imp, remap: importMaps[t.ImportPath]}}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("gocheck: typecheck %s: %v", t.ImportPath, err)
+		}
+		pkg := &Package{
+			PkgPath: t.ImportPath,
+			Fset:    fset,
+			Syntax:  files,
+			Types:   tpkg,
+			Info:    info,
+		}
+		pkg.indexComments()
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// remapImporter applies a package's vendor/ImportMap renames before
+// delegating to the export-data importer (identity in this module, but
+// cheap to honor).
+type remapImporter struct {
+	imp   types.Importer
+	remap map[string]string
+}
+
+func (r remapImporter) Import(path string) (*types.Package, error) {
+	if r.remap != nil {
+		if m, ok := r.remap[path]; ok {
+			path = m
+		}
+	}
+	return r.imp.Import(path)
+}

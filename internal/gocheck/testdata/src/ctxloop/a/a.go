@@ -1,0 +1,118 @@
+// Package a is the ctxloop fixture: unbounded loops with and without
+// context observation.
+package a
+
+import "context"
+
+// drainForever spins without ever observing ctx: flagged.
+func drainForever(ctx context.Context, ch chan int) int {
+	n := 0
+	for { // want "never observes ctx"
+		v, ok := <-ch
+		if !ok {
+			return n
+		}
+		n += v
+	}
+}
+
+// condLoop has a bare condition that ignores ctx: flagged.
+func condLoop(ctx context.Context, ch chan int) int {
+	n := 0
+	done := false
+	for !done { // want "never observes ctx"
+		v, ok := <-ch
+		if !ok {
+			done = true
+			continue
+		}
+		n += v
+	}
+	return n
+}
+
+// drainChecked selects on ctx.Done each iteration: clean.
+func drainChecked(ctx context.Context, ch chan int) int {
+	n := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return n
+		case v, ok := <-ch:
+			if !ok {
+				return n
+			}
+			n += v
+		}
+	}
+}
+
+// errChecked polls ctx.Err in the condition: clean.
+func errChecked(ctx context.Context, work func() bool) {
+	for ctx.Err() == nil {
+		if !work() {
+			return
+		}
+	}
+}
+
+// counted is bounded by construction: clean.
+func counted(ctx context.Context, work func()) {
+	for i := 0; i < 64; i++ {
+		work()
+	}
+}
+
+// noCtx has no context to observe: clean (cancellation is the caller's
+// problem).
+func noCtx(ch chan int) int {
+	n := 0
+	for {
+		v, ok := <-ch
+		if !ok {
+			return n
+		}
+		n += v
+	}
+}
+
+// workerCapture launches a goroutine whose loop captures ctx lexically:
+// clean.
+func workerCapture(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ch:
+			}
+		}
+	}()
+}
+
+// workerBad launches a goroutine whose loop ignores the captured ctx:
+// flagged.
+func workerBad(ctx context.Context, ch chan int) {
+	go func() {
+		for { // want "never observes ctx"
+			_, ok := <-ch
+			if !ok {
+				return
+			}
+		}
+	}()
+}
+
+// allowlisted drains a pre-closed bounded channel: the reasoned
+// suppression silences the finding.
+func allowlisted(ctx context.Context, ch chan int) int {
+	n := 0
+	//vadalint:ctxloop fixture: ch is closed before entry, loop is bounded
+	for {
+		v, ok := <-ch
+		if !ok {
+			return n
+		}
+		n += v
+	}
+}

@@ -1,0 +1,89 @@
+// Package a is the floatfold fixture: float folds inside map iteration,
+// order-dependent and safe.
+package a
+
+import "sort"
+
+// sumUnsorted folds floats in map order: flagged.
+func sumUnsorted(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // want "order-dependent"
+	}
+	return s
+}
+
+// spelledOut writes the fold as s = s + v: flagged.
+func spelledOut(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s = s + v // want "order-dependent"
+	}
+	return s
+}
+
+// productUnsorted multiplies in map order: flagged.
+func productUnsorted(m map[string]float64) float64 {
+	p := 1.0
+	for _, v := range m {
+		p *= v // want "order-dependent"
+	}
+	return p
+}
+
+// sumSorted folds over a sorted snapshot: clean (the loop is over a
+// slice, not a map).
+func sumSorted(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var s float64
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}
+
+// countKeys folds integers, which commute exactly: clean.
+func countKeys(m map[string]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// maxValue uses an order-free reduction: clean (comparison, not
+// accumulation).
+func maxValue(m map[string]float64) float64 {
+	best := 0.0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// localAccum resets its accumulator each iteration: clean.
+func localAccum(m map[string][]float64, out map[string]float64) {
+	for k, vs := range m {
+		s := 0.0
+		for _, v := range vs {
+			s += v
+		}
+		out[k] = s
+	}
+}
+
+// allowlisted is a deliberate approximate fold: silent.
+func allowlisted(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		//vadalint:floatfold fixture: diagnostic estimate, bits do not matter
+		s += v
+	}
+	return s
+}

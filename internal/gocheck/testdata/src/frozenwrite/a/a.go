@@ -1,0 +1,84 @@
+// Package a is the frozenwrite fixture: a miniature Relation/Matcher
+// pair reproducing the frozen-epoch worker topology.
+package a
+
+// Relation mirrors the storage Relation's mutating and snapshot APIs.
+type Relation struct {
+	rows   [][]uint32
+	frozen bool
+}
+
+// Insert is a mutating sink.
+func (r *Relation) Insert(row []uint32) bool {
+	r.rows = append(r.rows, row)
+	return true
+}
+
+// Freeze is a mutating sink.
+func (r *Relation) Freeze() { r.frozen = true }
+
+// EnsureIndex is a mutating sink.
+func (r *Relation) EnsureIndex(cols []int) {}
+
+// SnapshotLookupIDs is the pure frozen-epoch probe (a root marker for
+// its callers, not a sink).
+func (r *Relation) SnapshotLookupIDs(key []uint32) [][]uint32 { return nil }
+
+// Matcher mirrors the eval Matcher: its whole method set is a root.
+type Matcher struct{ Snapshot bool }
+
+// matchBad mutates storage from the match path: flagged.
+func (m *Matcher) matchBad(r *Relation) {
+	r.Insert(nil) // want "Relation.Insert"
+}
+
+// matchVia reaches a sink through a helper: the helper's call site is
+// flagged with the chain.
+func (m *Matcher) matchVia(r *Relation) {
+	deepHelper(r)
+}
+
+func deepHelper(r *Relation) {
+	r.Freeze() // want "Relation.Freeze"
+}
+
+// matchClean only probes the snapshot: clean.
+func (m *Matcher) matchClean(r *Relation) [][]uint32 {
+	return r.SnapshotLookupIDs(nil)
+}
+
+// guardedDispatch mirrors the engine's dual-mode lookup: the mutating
+// branch is runtime-guarded by !m.Snapshot, so the suppression carries
+// the reason.
+func (m *Matcher) guardedDispatch(r *Relation) {
+	if !m.Snapshot {
+		//vadalint:frozenwrite fixture: non-snapshot branch runs serially
+		r.EnsureIndex(nil)
+	}
+}
+
+// workerLaunch constructs a Snapshot matcher, making it a root; the
+// sink it reaches downstream is flagged.
+func workerLaunch(r *Relation) {
+	m := Matcher{Snapshot: true}
+	_ = m
+	launchHelper(r)
+}
+
+func launchHelper(r *Relation) {
+	r.Insert(nil) // want "Relation.Insert"
+}
+
+// serialAdmission is never reached from any root: mutating freely is
+// clean.
+func serialAdmission(r *Relation) {
+	r.Insert(nil)
+	r.Freeze()
+}
+
+// probeCaller calls the snapshot probe directly, becoming a root; its
+// own mutation is flagged.
+func probeCaller(r *Relation) {
+	_ = r.SnapshotLookupIDs(nil)
+	r.Freeze() // want "Relation.Freeze"
+}

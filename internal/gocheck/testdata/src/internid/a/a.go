@@ -1,0 +1,94 @@
+// Package a is the internid fixture: a miniature Interner with the real
+// storage layer's shape, plus flagged and clean ID flows.
+package a
+
+// Value stands in for the storage term value.
+type Value struct{ S string }
+
+// Interner mirrors the storage Interner's API surface.
+type Interner struct {
+	ids  map[string]uint32
+	vals []Value
+}
+
+// Intern returns the dense ID for v, allocating one if needed.
+func (in *Interner) Intern(v Value) uint32 {
+	if id, ok := in.ids[v.S]; ok {
+		return id
+	}
+	id := uint32(len(in.vals) + 1)
+	in.ids[v.S] = id
+	in.vals = append(in.vals, v)
+	return id
+}
+
+// IDOf returns the ID for v without allocating.
+func (in *Interner) IDOf(v Value) (uint32, bool) {
+	id, ok := in.ids[v.S]
+	return id, ok
+}
+
+// ValueOf decodes an ID.
+func (in *Interner) ValueOf(id uint32) Value {
+	return in.vals[id-1]
+}
+
+// lookup is a consumer with an ID-typed parameter.
+func lookup(id uint32) bool { return id != 0 }
+
+// probe is a consumer with a suffixed ID parameter.
+func probe(rowID uint32) bool { return rowID != 0 }
+
+// rawLiteral passes a raw integer where an ID is expected: flagged.
+func rawLiteral() bool {
+	return lookup(7) // want "raw integer"
+}
+
+// namedConst is still a raw constant: flagged.
+func namedConst() bool {
+	const magic = 42
+	return probe(magic) // want "raw integer"
+}
+
+// invalidZero passes the reserved invalid ID: clean.
+func invalidZero() bool {
+	return lookup(0)
+}
+
+// arithmetic performs ID arithmetic into an ID position: flagged.
+func arithmetic(in *Interner, v Value) bool {
+	id := in.Intern(v)
+	return lookup(id + 1) // want "arithmetic"
+}
+
+// properFlow passes an interned ID straight through: clean.
+func properFlow(in *Interner, v Value) bool {
+	id := in.Intern(v)
+	return lookup(id)
+}
+
+// crossCompare compares IDs from two different interners: flagged.
+func crossCompare(a, b *Interner, v Value) bool {
+	x := a.Intern(v)
+	y := b.Intern(v)
+	return x == y // want "different interners"
+}
+
+// sameCompare compares IDs from one interner: clean.
+func sameCompare(a *Interner, v, w Value) bool {
+	x := a.Intern(v)
+	y := a.Intern(w)
+	return x == y
+}
+
+// crossDecode decodes an ID through the wrong interner: flagged.
+func crossDecode(a, b *Interner, v Value) Value {
+	id := a.Intern(v)
+	return b.ValueOf(id) // want "ID spaces are unrelated"
+}
+
+// sameDecode decodes through the producing interner: clean.
+func sameDecode(a *Interner, v Value) Value {
+	id := a.Intern(v)
+	return a.ValueOf(id)
+}

@@ -1,0 +1,97 @@
+// Package a is the maporder fixture: each function is one flagged or
+// clean shape for range-over-map order sensitivity.
+package a
+
+import "sort"
+
+// emitUnsorted appends map values in iteration order: flagged.
+func emitUnsorted(m map[string]int, out []int) []int {
+	for _, v := range m { // want "order-sensitive"
+		out = append(out, v)
+	}
+	return out
+}
+
+// callPerKey calls an emitting function per key: flagged.
+func callPerKey(m map[string]int, emit func(string)) {
+	for k := range m { // want "order-sensitive"
+		emit(k)
+	}
+}
+
+// sortedKeys is the collect-then-sort idiom: clean.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// invert only writes into a map: keyed stores commute, clean.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// countMatching folds integers under a call-free filter: clean.
+func countMatching(m map[string]int, limit int) int {
+	n := 0
+	for _, v := range m {
+		if v < limit {
+			n++
+		}
+	}
+	return n
+}
+
+// pruneZero deletes during iteration (spec-sanctioned): clean.
+func pruneZero(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// localTemps uses loop-local variables freely: clean.
+func localTemps(m map[string]int, seen map[int]bool) {
+	for _, v := range m {
+		_, ok := seen[v]
+		if !ok {
+			seen[v] = true
+		}
+	}
+}
+
+// allowlisted carries a reasoned suppression: silent.
+func allowlisted(m map[string]int, out []int) []int {
+	//vadalint:ordered fixture: order feeds an order-agnostic set union
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// bareTag carries a reasonless suppression: still flagged, with the
+// needs-a-reason note appended.
+func bareTag(m map[string]int, out []int) []int {
+	//vadalint:ordered
+	for _, v := range m { // want "needs a reason"
+		out = append(out, v)
+	}
+	return out
+}
+
+// collectNoSort collects into a slice but never sorts it: flagged.
+func collectNoSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want "order-sensitive"
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+)
+
+// jsonDiag is the machine-readable form of one Diagnostic. The field
+// names are the stable wire contract of `vada vet -json`: editors and CI
+// annotators may depend on them, so they change never — only grow.
+type jsonDiag struct {
+	File     string        `json:"file"`
+	Line     int           `json:"line"`
+	Col      int           `json:"col"`
+	Code     string        `json:"code"`
+	Severity string        `json:"severity"`
+	Message  string        `json:"message"`
+	Related  []jsonRelated `json:"related,omitempty"`
+}
+
+// jsonRelated is a secondary location on the wire.
+type jsonRelated struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+func toJSONDiag(d Diagnostic) jsonDiag {
+	j := jsonDiag{
+		File:     d.Pos.File,
+		Line:     d.Pos.Line,
+		Col:      d.Pos.Col,
+		Code:     d.Code,
+		Severity: d.Severity.String(),
+		Message:  d.Message,
+	}
+	for _, r := range d.Related {
+		j.Related = append(j.Related, jsonRelated{
+			File:    r.Pos.File,
+			Line:    r.Pos.Line,
+			Col:     r.Pos.Col,
+			Message: r.Message,
+		})
+	}
+	return j
+}
+
+// WriteJSON renders diags as JSON Lines — one object per diagnostic, in
+// the given order — the `vada vet -json` output format.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	enc := json.NewEncoder(w)
+	for _, d := range diags {
+		if err := enc.Encode(toJSONDiag(d)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderJSON returns the JSON Lines rendering of diags as a string.
+func RenderJSON(diags []Diagnostic) string {
+	var buf bytes.Buffer
+	_ = WriteJSON(&buf, diags)
+	return buf.String()
+}

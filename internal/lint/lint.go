@@ -18,6 +18,11 @@
 //	T001  warning  join variable whose position types cannot unify
 //	T002  warning  statically unsatisfiable condition set
 //	T003  error    msum/mprod over a non-numeric argument
+//	B001  warning  @bind/@qbind on a predicate never declared @input
+//	               or @output
+//
+// The vet front end additionally emits E001 (error) for files that do
+// not parse; it never originates here — Check requires a parsed program.
 package lint
 
 import (
@@ -138,6 +143,7 @@ func Check(prog *ast.Program, opts Options) []Diagnostic {
 	c.checkDeadRules()
 	c.checkSingletons()
 	c.checkConditions()
+	c.checkBindings()
 	types := inferTypes(prog)
 	c.checkJoinTypes(types)
 	c.checkAggregates(types)
@@ -533,6 +539,27 @@ func (c *checker) checkSingletons() {
 			c.add(Warning, "D002", o.line, o.col,
 				"variable %s occurs only once in the rule (typo? use _ to ignore a position)", v)
 		}
+	}
+}
+
+// checkBindings reports bindings on undeclared predicates (B001): a
+// @bind/@qbind whose predicate is never marked @input or @output still
+// loads (the @input annotation is declarative), but the missing
+// declaration usually means a typo'd predicate name or a forgotten
+// @input — and the record-manager pushdown (@qbind) plans around input
+// declarations.
+func (c *checker) checkBindings() {
+	for _, b := range c.prog.Bindings {
+		if c.prog.Inputs[b.Pred] || c.prog.Outputs[b.Pred] {
+			continue
+		}
+		dir := "@bind"
+		if b.Query != "" {
+			dir = "@qbind"
+		}
+		c.add(Warning, "B001", b.Line, b.Col,
+			"%s on %s, which is never declared @input or @output: declare @input(\"%s\") (or @output) so the binding's role is explicit",
+			dir, b.Pred, b.Pred)
 	}
 }
 

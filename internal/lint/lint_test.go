@@ -46,11 +46,46 @@ func TestGolden(t *testing.T) {
 	}
 }
 
+// TestGoldenJSON pins the machine-readable rendering beside the .out
+// corpus: every testdata program's diagnostics are compared against the
+// sibling .json golden (JSON Lines, the `vada vet -json` wire format;
+// regenerate with -update). A change in these files is a change to the
+// wire contract.
+func TestGoldenJSON(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.vada"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata programs: %v", err)
+	}
+	for _, file := range files {
+		t.Run(strings.TrimSuffix(filepath.Base(file), ".vada"), func(t *testing.T) {
+			prog, err := parser.ParseFile(file)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			got := RenderJSON(Check(prog, Options{File: filepath.Base(file)}))
+			golden := strings.TrimSuffix(file, ".vada") + ".json"
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("json mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
 // TestGoldenCoversAllCodes keeps the golden corpus honest: every
 // diagnostic code the package documents must be exercised by at least
 // one testdata program.
 func TestGoldenCoversAllCodes(t *testing.T) {
-	all := []string{"W001", "W002", "N001", "S001", "A001", "D001", "D002", "T001", "T002", "T003"}
+	all := []string{"W001", "W002", "N001", "S001", "A001", "B001", "D001", "D002", "T001", "T002", "T003"}
 	seen := map[string]bool{}
 	files, _ := filepath.Glob(filepath.Join("testdata", "*.vada"))
 	for _, file := range files {

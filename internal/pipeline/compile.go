@@ -145,6 +145,7 @@ func (c *Compiled) NewSession() *Session {
 		s.pl = planner.New(sessionCatalog{s: s})
 	}
 	s.mt = &eval.Matcher{DB: s.db, OnIndexProbe: func(pred string) { s.bm.Touch(pred) }}
+	//vadalint:ordered keyed effects only: Rel keeps db.names sorted, hub/segment registration is per-pred
 	for pred, arity := range c.preds {
 		rel := s.db.Rel(pred, arity)
 		s.hubs[pred] = &hub{pred: pred, rel: rel}
@@ -164,6 +165,7 @@ func (c *Compiled) NewSession() *Session {
 		}
 		s.filters = append(s.filters, f)
 	}
+	//vadalint:ordered each hub's producer list is built from its own key's ruleIdxs only
 	for pred, ruleIdxs := range c.producers {
 		h := s.hubs[pred]
 		if h == nil { // the synthetic constraint sink

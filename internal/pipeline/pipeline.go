@@ -748,6 +748,9 @@ func (s *Session) Drain(ctx context.Context) error {
 	}
 	// Sweep to fixpoint so constraint/EGD filters observe every fact.
 	for s.sweep() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		return err

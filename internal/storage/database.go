@@ -43,8 +43,8 @@ func (db *Database) Interner() *Interner { return db.in }
 // of using dynamic indexes — the slot-machine-join ablation.
 func (db *Database) DisableIndexes() {
 	db.noIndex = true
-	for _, r := range db.rels {
-		r.SetNoIndex(true)
+	for _, name := range db.names {
+		db.rels[name].SetNoIndex(true)
 	}
 }
 
@@ -78,8 +78,8 @@ func (db *Database) Predicates() []string {
 // out to its match workers and mutates it only on the serial admit path.
 func (db *Database) Freeze() {
 	db.gen++
-	for _, r := range db.rels {
-		r.Freeze()
+	for _, name := range db.names {
+		db.rels[name].Freeze()
 	}
 }
 
@@ -153,8 +153,8 @@ func (db *Database) ActiveDomainSize() int { return len(db.activeDom) }
 // TotalFacts counts all stored rows, retracted rows included.
 func (db *Database) TotalFacts() int {
 	n := 0
-	for _, r := range db.rels {
-		n += r.Len()
+	for _, name := range db.names {
+		n += db.rels[name].Len()
 	}
 	return n
 }
@@ -163,8 +163,8 @@ func (db *Database) TotalFacts() int {
 // monotonic-aggregation intermediates excluded).
 func (db *Database) LiveFacts() int {
 	n := 0
-	for _, r := range db.rels {
-		n += r.Live()
+	for _, name := range db.names {
+		n += db.rels[name].Live()
 	}
 	return n
 }
@@ -173,8 +173,8 @@ func (db *Database) LiveFacts() int {
 // plus the shared symbol table.
 func (db *Database) Bytes() int64 {
 	b := db.in.Bytes()
-	for _, r := range db.rels {
-		b += r.Bytes()
+	for _, name := range db.names {
+		b += db.rels[name].Bytes()
 	}
 	return b
 }

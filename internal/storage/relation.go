@@ -356,6 +356,7 @@ func (r *Relation) Replace(i int, f ast.Fact) ReplaceOutcome {
 	removeRow(r.exact, hashRow(old), i)
 	copy(r.rows[i*r.arity:(i+1)*r.arity], newRow)
 	r.exact[newH] = append(r.exact[newH], int32(i))
+	//vadalint:ordered each dynamic index is updated independently from its own mask and buckets
 	for _, ix := range r.indexes {
 		if i >= ix.upTo || maskedIDsEqual(old, newRow, ix.mask) {
 			continue
@@ -384,6 +385,7 @@ func (r *Relation) Replace(i int, f ast.Fact) ReplaceOutcome {
 func (r *Relation) retract(i int) {
 	row := r.Row(i)
 	removeRow(r.exact, hashRow(row), i)
+	//vadalint:ordered each dynamic index drops the row from its own buckets independently
 	for _, ix := range r.indexes {
 		if i < ix.upTo {
 			removeRow(ix.entries, hashMasked(row, ix.mask), i)
@@ -615,6 +617,7 @@ func (r *Relation) scanMasked(mask uint32, probe []uint32) []int32 {
 // all mutation) must stay single-goroutine.
 func (r *Relation) Freeze() {
 	r.liveSnapshot()
+	//vadalint:ordered extendIndex touches only its argument index; the extensions commute
 	for _, ix := range r.indexes {
 		r.extendIndex(ix)
 	}
@@ -770,6 +773,7 @@ func (r *Relation) DropIndexes() {
 	if len(r.indexes) == 0 {
 		return
 	}
+	//vadalint:ordered each index's hits fold into its own mask's usage record
 	for mask, ix := range r.indexes {
 		u := r.usage(mask)
 		h := ix.hits.Load()
