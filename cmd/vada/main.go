@@ -18,6 +18,9 @@
 //	-engine pipeline|chase     execution engine (default pipeline)
 //	-policy full|nosummary|trivial|restricted|skolem
 //	-max N                     derivation budget
+//	-timeout D                 wall-clock bound (e.g. 30s); on expiry the
+//	                           partial result derived so far is printed
+//	                           and vada exits 4
 //	-parallel N                chase match workers (0 = GOMAXPROCS,
 //	                           1 = single-threaded; results are identical)
 //	-noplan                    disable the cost-based join planner
@@ -31,6 +34,12 @@
 //	                           e.g. -bind own=tsv:/data/own.tsv
 //	-print pred                print a predicate's facts (repeatable;
 //	                           default: all @output predicates)
+//
+// Run exit codes (also in vada run -h): 0 success; 1 error (parse,
+// compile, inconsistency, rule failure); 2 usage; 3 cancelled
+// (interrupt); 4 resource bound hit (derivation budget or -timeout;
+// partial result printed); 5 transient source failure persisting after
+// the configured retries.
 package main
 
 import (
@@ -284,11 +293,39 @@ func overrideBinding(prog *vadalog.Program, spec string) error {
 	return nil
 }
 
+// exitRunError maps a RunContext failure to the documented exit codes:
+// a PartialResult (budget or -timeout) prints the facts derived so far
+// and exits 4, interrupt exits 3, a transient source failure that
+// outlived its retries exits 5, and anything else is a plain error (1).
+func exitRunError(err error, preds []string) {
+	var pr *vadalog.PartialResult
+	switch {
+	case errors.As(err, &pr):
+		for _, pred := range preds {
+			for _, f := range pr.Output(pred) {
+				fmt.Println(f)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "vada: partial result: %d facts derived, quiesced=%v: %v\n",
+			pr.Derivations(), pr.Quiesced(), pr.Reason)
+		os.Exit(4)
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintln(os.Stderr, "vada: cancelled:", err)
+		os.Exit(3)
+	case vadalog.IsTransient(err):
+		fmt.Fprintln(os.Stderr, "vada: transient source failure persisted after retries:", err)
+		os.Exit(5)
+	default:
+		fatal(err)
+	}
+}
+
 func cmdRun(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	engine := fs.String("engine", "pipeline", "pipeline|chase")
 	policy := fs.String("policy", "full", "full|nosummary|trivial|restricted|skolem")
 	maxDer := fs.Int("max", 0, "derivation budget (0 = default)")
+	timeout := fs.Duration("timeout", 0, "wall-clock bound; on expiry print the partial result and exit 4 (0 = none)")
 	parallel := fs.Int("parallel", 0, "chase match workers (0 = GOMAXPROCS, 1 = single-threaded)")
 	noplan := fs.Bool("noplan", false, "disable the cost-based join planner")
 	explain := fs.Bool("explain", false, "print the access plan with chosen join orders after the run")
@@ -296,6 +333,20 @@ func cmdRun(args []string) {
 	fs.Var(&extraFacts, "facts", "pred=file.csv extra input (repeatable)")
 	fs.Var(&printPreds, "print", "predicate to print (repeatable)")
 	fs.Var(&bindOverrides, "bind", "pred=driver:target binding override (repeatable)")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: vada run [flags] <program.vada>")
+		fs.PrintDefaults()
+		fmt.Fprint(fs.Output(), `
+exit codes:
+  0  success
+  1  error (parse, compile, inconsistency, rule failure)
+  2  usage
+  3  cancelled (interrupt signal)
+  4  resource bound hit (-max derivation budget or -timeout);
+     the partial result derived so far is printed first
+  5  transient source failure persisting after the configured retries
+`)
+	}
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
@@ -349,15 +400,27 @@ func cmdRun(args []string) {
 		}
 		facts = append(facts, fs...)
 	}
+	preds := []string(printPreds)
+	if len(preds) == 0 {
+		for p := range prog.Outputs {
+			preds = append(preds, p)
+		}
+	}
+	sort.Strings(preds)
 	// Ctrl-C cancels the reasoning fixpoint instead of killing the process.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	// Drive a session directly (rather than Query) so -explain can render
 	// the plans against the statistics the run actually converged on.
 	sess := reasoner.NewSession()
 	sess.Load(facts...)
 	if err := sess.RunContext(ctx); err != nil {
-		fatal(err)
+		exitRunError(err, preds)
 	}
 	res, err := sess.Result()
 	if err != nil {
@@ -367,12 +430,6 @@ func cmdRun(args []string) {
 		fmt.Fprint(os.Stderr, sess.Explain())
 	}
 
-	preds := []string(printPreds)
-	if len(preds) == 0 {
-		for p := range prog.Outputs {
-			preds = append(preds, p)
-		}
-	}
 	for _, pred := range preds {
 		for _, f := range res.Output(pred) {
 			fmt.Println(f)

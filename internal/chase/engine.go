@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -26,12 +27,18 @@ import (
 	"repro/internal/ast"
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/fault"
 	"repro/internal/lint"
 	"repro/internal/planner"
 	"repro/internal/rewrite"
 	"repro/internal/storage"
 	"repro/internal/term"
 )
+
+// siteMatch guards the parallel match seam: it fires inside matchTask on
+// worker goroutines, so error terms exercise the captured-error path and
+// panic terms exercise worker panic isolation.
+var siteMatch = fault.NewSite("chase.match")
 
 // ErrInconsistent is returned (wrapped) when a negative constraint fires
 // or an EGD equates two distinct constants.
@@ -284,6 +291,16 @@ type Engine struct {
 	// current batch; step turns it into a whole-batch abort.
 	overflow atomic.Bool
 
+	// panicMu/panicErr latch the first recovered match-worker panic of the
+	// current batch in canonical task order (minimum task index), so the
+	// surfaced crash is the same whatever the worker count or scheduling.
+	panicMu  sync.Mutex
+	panicErr *core.PanicError
+	panicTi  int
+	// firing is the rule the serial admit path is currently evaluating,
+	// giving step's crash recovery a source position.
+	firing *ast.Rule
+
 	// nworkers is the resolved Options.Parallelism; workers holds the
 	// per-worker match state (snapshot Matcher + private Bindings),
 	// created lazily at the first batch.
@@ -439,6 +456,41 @@ func (e *Engine) LoadProgramFacts() {
 	}
 }
 
+// LoadChunk is LoadFacts with the load path's crashes converted into a
+// typed error: a panic mid-chunk (storage fault) leaves the prefix
+// admitted and the store consistent, and since loading skips duplicates,
+// re-feeding the same chunk resumes exactly where the crash struck.
+func (e *Engine) LoadChunk(facts []ast.Fact) (err error) {
+	defer func() {
+		if r := recover(); r != nil { //vadalint:panicguard load-path crash isolation: convert storage faults into typed resumable errors
+			err = &core.PanicError{Engine: "chase load", Value: r, Stack: debug.Stack()}
+		}
+	}()
+	e.LoadFacts(facts)
+	return nil
+}
+
+// SetBudget replaces the derivation budget for subsequent admissions —
+// how a session resumes after an ErrBudget partial result. Only safe
+// between Run calls (no batch in flight).
+func (e *Engine) SetBudget(n int) { e.meter.SetLimit(n) }
+
+// Quiesced reports whether the chase has reached its fixpoint: no delta
+// is waiting in the queue. After an interrupted run it distinguishes "the
+// answer is complete" from "a resume would derive more".
+func (e *Engine) Quiesced() bool { return len(e.queue) == 0 }
+
+// Output returns pred's facts with the program's @post directives applied
+// against the engine's current database. Unlike Result.Output it is
+// readable mid-run — what a partial result reports after an interrupted
+// chase.
+func (e *Engine) Output(pred string) []ast.Fact {
+	return eval.ApplyPost(e.db.FactsOf(pred), e.c.prog.Posts, pred, e.subst)
+}
+
+// Derivations reports admitted (inserted) facts so far, EDB included.
+func (e *Engine) Derivations() int { return e.meter.Used() }
+
 // insertTagTwin mirrors an admitted fact of a tagged predicate into its
 // tag twin, with labelled nulls replaced by their canonical ground keys
 // (dynamic harmful-join elimination; see rewrite.EliminateHarmfulJoinsDynamic).
@@ -481,8 +533,9 @@ const maxBatchDeltas = 2048
 // ctx aborts the loop between delta batches (and stops in-flight match
 // workers between tasks).
 func (e *Engine) Run(ctx context.Context, edb []ast.Fact) (*Result, error) {
-	e.LoadProgramFacts()
-	e.LoadFacts(edb)
+	if err := e.loadGuarded(edb); err != nil {
+		return nil, err
+	}
 	for len(e.queue) > 0 {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -503,6 +556,20 @@ func (e *Engine) Run(ctx context.Context, edb []ast.Fact) (*Result, error) {
 	}, nil
 }
 
+// loadGuarded runs Run's initial loads under the same crash isolation as
+// LoadChunk: both loads skip duplicates, so a resumed Run re-feeding them
+// admits only what the crash cut off.
+func (e *Engine) loadGuarded(edb []ast.Fact) (err error) {
+	defer func() {
+		if r := recover(); r != nil { //vadalint:panicguard load-path crash isolation: convert storage faults into typed resumable errors
+			err = &core.PanicError{Engine: "chase load", Value: r, Stack: debug.Stack()}
+		}
+	}()
+	e.LoadProgramFacts()
+	e.LoadFacts(edb)
+	return nil
+}
+
 // step drains one delta batch: it schedules every (rule, pinned atom,
 // delta) firing of the batch as a task, matches the parallel-safe tasks
 // against a frozen storage epoch (fanned out to the worker pool), then
@@ -510,13 +577,15 @@ func (e *Engine) Run(ctx context.Context, edb []ast.Fact) (*Result, error) {
 // matching mints nulls run inline during the admit phase, at their
 // canonical position. New facts enqueue for the next batch.
 //
-// On cancellation the whole batch is put back at the head of the queue:
-// a resumed Run re-fires it, which is idempotent (duplicates are
-// eliminated, aggregate updates retain per-contributor maxima, Skolem
-// minting is memoized), so no delta's derivations are ever lost. On
-// candidate-buffer overflow (a runaway batch) nothing of the batch is
-// admitted, keeping the database state at the error deterministic.
-func (e *Engine) step(ctx context.Context) error {
+// On ANY abnormal exit — cancellation, a captured match error, a
+// recovered crash, budget exhaustion or candidate-buffer overflow — the
+// whole batch is put back at the head of the queue: a resumed Run
+// re-fires it, which is idempotent (duplicates are eliminated, aggregate
+// updates retain per-contributor maxima, Skolem minting is memoized), so
+// no delta's derivations are ever lost. On candidate-buffer overflow (a
+// runaway batch) nothing of the batch is admitted, keeping the database
+// state at the error deterministic.
+func (e *Engine) step(ctx context.Context) (err error) {
 	n := len(e.queue)
 	if n > maxBatchDeltas {
 		n = maxBatchDeltas
@@ -547,31 +616,79 @@ func (e *Engine) step(ctx context.Context) error {
 	if len(e.tasks) == 0 {
 		return nil
 	}
+	requeue := func() {
+		e.meter.ResetPending()
+		e.queue = append(batch, e.queue...)
+	}
+	// Crash isolation for the serial phases (Freeze, planning, admission):
+	// a panic here — a storage fault mid-admission, say — leaves the store
+	// consistent (mutations are per-fact atomic), so requeueing the batch
+	// keeps the session resumable and the crash surfaces as a positioned
+	// engine error instead of killing the process.
+	defer func() {
+		if r := recover(); r != nil { //vadalint:panicguard serial chase phases: requeue the batch and surface a positioned resumable error
+			requeue()
+			err = &core.PanicError{Engine: "chase", Rule: e.firing, Value: r, Stack: debug.Stack()}
+		}
+	}()
 	e.overflow.Store(false)
+	e.panicErr, e.panicTi, e.firing = nil, 0, nil
 	e.db.Freeze()
 	e.planBatch()
 	e.matchBatch(ctx)
+	if pe := e.batchPanic(); pe != nil {
+		// A match worker crashed: nothing of the batch was admitted
+		// (admission is skipped wholesale), so requeueing it keeps the
+		// database exactly at the previous batch's state for every worker
+		// count, and a resumed Run re-matches the whole batch.
+		requeue()
+		return pe
+	}
 	if e.overflow.Load() {
 		// The batch buffered more candidates than the meter's runaway
-		// ceiling allows. Discard it wholesale — nothing was admitted, so
-		// the database at the error is the previous batch's state for
-		// every worker count (which worker observed the crossing is
-		// scheduling-dependent; what was admitted is not).
-		e.meter.ResetPending()
+		// ceiling allows. Nothing was admitted, so the database at the
+		// error is the previous batch's state for every worker count
+		// (which worker observed the crossing is scheduling-dependent;
+		// what was admitted is not). The batch goes back on the queue: a
+		// raised budget resumes it.
+		requeue()
 		return fmt.Errorf("%w (batch candidate buffer overflow)", ErrBudget)
 	}
 	if err := e.admitBatch(ctx); err != nil {
-		if ctx.Err() != nil {
-			// Cancellation, not failure: restore the batch so a resumed
-			// Run picks it back up.
-			e.meter.ResetPending()
-			e.queue = append(batch, e.queue...)
-		}
+		// Whatever interrupted admission — cancellation, budget
+		// exhaustion, a captured match error, an inconsistency — the
+		// partially admitted batch is restored wholesale; re-firing the
+		// admitted prefix is idempotent.
+		requeue()
 		return err
 	}
 	e.meter.ResetPending()
 	e.promoteMisses()
 	return nil
+}
+
+// batchPanic returns the crash latched for the current batch, nil if the
+// match phase completed cleanly.
+func (e *Engine) batchPanic() *core.PanicError {
+	e.panicMu.Lock()
+	defer e.panicMu.Unlock()
+	return e.panicErr
+}
+
+// notePanic latches a recovered match-task crash, keeping the one with
+// the smallest task index so the surfaced error is canonical.
+func (e *Engine) notePanic(ti int, r any) {
+	e.panicMu.Lock()
+	defer e.panicMu.Unlock()
+	if e.panicErr == nil || ti < e.panicTi {
+		e.panicErr = &core.PanicError{
+			Engine: "chase",
+			Rule:   e.c.rules[e.tasks[ti].ri].Rule,
+			Value:  r,
+			Stack:  debug.Stack(),
+		}
+		e.panicTi = ti
+	}
 }
 
 // planBatch derives (or revalidates) the schedule of every distinct
@@ -684,7 +801,16 @@ func (e *Engine) matchBatch(ctx context.Context) {
 // and captures each complete binding into the task's log. Budget pressure
 // is metered atomically: a batch that buffers far more candidates than the
 // derivation budget aborts instead of growing without bound.
+//
+// A panicking task never kills the process (worker isolation): the crash
+// is recovered here, latched in canonical task order, and step turns it
+// into a positioned engine error with the whole batch requeued.
 func (e *Engine) matchTask(w *matchWorker, ti int) {
+	defer func() {
+		if r := recover(); r != nil { //vadalint:panicguard worker panic isolation: latch the crash, step requeues the batch
+			e.notePanic(ti, r)
+		}
+	}()
 	t := &e.tasks[ti]
 	if !e.c.parSafe[t.ri] {
 		return // evaluated inline on the serial admit path
@@ -708,6 +834,11 @@ func (e *Engine) matchTask(w *matchWorker, ti int) {
 	}
 	lg := &e.results[ti]
 	lg.Reset(cr)
+	if err := siteMatch.Check(); err != nil {
+		rule := e.c.rules[t.ri].Rule
+		lg.Err = fmt.Errorf("chase: %d:%d: rule %d: %w", rule.Line, rule.Col, rule.ID, err)
+		return
+	}
 	if err := w.mt.MatchPinnedSteps(cr, t.pos, t.m, steps, b, func(b *eval.Binding) error {
 		if !e.meter.Reserve(reserve) {
 			e.overflow.Store(true)
@@ -749,6 +880,7 @@ func (e *Engine) admitBatch(ctx context.Context) error {
 			continue
 		}
 		cr := e.c.rules[t.ri]
+		e.firing = cr.Rule // positions a crash recovered by step
 		if !e.c.parSafe[t.ri] {
 			if err := e.fire(t.ri, t.pos, t.m); err != nil {
 				return err
@@ -786,6 +918,7 @@ func (e *Engine) admitBatch(ctx context.Context) error {
 			return lg.Err
 		}
 	}
+	e.firing = nil
 	return nil
 }
 

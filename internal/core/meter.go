@@ -36,6 +36,11 @@ func NewMeter(limit int) *Meter {
 // Limit returns the derivation budget.
 func (m *Meter) Limit() int { return int(m.limit) }
 
+// SetLimit replaces the derivation budget. It is only safe between runs
+// (no workers in flight): raising the budget is how a session resumes
+// after a budget-exhausted partial result.
+func (m *Meter) SetLimit(limit int) { m.limit = int64(limit) }
+
 // Used returns the number of derivations charged so far.
 func (m *Meter) Used() int { return int(m.used.Load()) }
 

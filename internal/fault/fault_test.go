@@ -1,0 +1,138 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+// testSite/testCrash are the package's own fixture sites; real sites
+// live in the packages whose seams they guard.
+var (
+	testSite  = NewSite("fault.test")
+	testCrash = NewPanicSite("fault.test.crash")
+)
+
+func TestDisarmedIsNil(t *testing.T) {
+	Disable()
+	for i := 0; i < 10; i++ {
+		if err := testSite.Check(); err != nil {
+			t.Fatalf("disarmed Check returned %v", err)
+		}
+	}
+	if Hits("fault.test") != 0 {
+		t.Fatalf("disarmed sites must not count hits, got %d", Hits("fault.test"))
+	}
+}
+
+func TestFiresAtExactHit(t *testing.T) {
+	if err := Enable("fault.test@3"); err != nil {
+		t.Fatal(err)
+	}
+	defer Disable()
+	for i := 1; i <= 5; i++ {
+		err := testSite.Check()
+		if (i == 3) != (err != nil) {
+			t.Fatalf("hit %d: err=%v", i, err)
+		}
+		if err != nil {
+			var fe *Error
+			if !errors.As(err, &fe) || fe.Site != "fault.test" || fe.Hit != 3 {
+				t.Fatalf("wrong error %v", err)
+			}
+		}
+	}
+}
+
+func TestPersistentFiresFromHitOn(t *testing.T) {
+	if err := Enable("fault.test@2+"); err != nil {
+		t.Fatal(err)
+	}
+	defer Disable()
+	var fired []int
+	for i := 1; i <= 4; i++ {
+		if testSite.Check() != nil {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 3 || fired[0] != 2 {
+		t.Fatalf("persistent arming fired at %v, want [2 3 4]", fired)
+	}
+}
+
+func TestPanicTermAndPanicOnlySite(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+			if _, ok := r.(*Error); !ok {
+				t.Fatalf("%s: panic value %v (%T), want *fault.Error", name, r, r)
+			}
+		}()
+		f()
+	}
+	if err := Enable("fault.test@1!"); err != nil {
+		t.Fatal(err)
+	}
+	mustPanic("error site with ! term", func() { _ = testSite.Check() })
+	Disable()
+
+	// A panic-only site panics even when the term does not say "!".
+	if err := Enable("fault.test.crash@1"); err != nil {
+		t.Fatal(err)
+	}
+	mustPanic("panic-only site", func() { testCrash.Hit() })
+	Disable()
+}
+
+func TestEnableResetsCounters(t *testing.T) {
+	if err := Enable("fault.test@1"); err != nil {
+		t.Fatal(err)
+	}
+	if testSite.Check() == nil {
+		t.Fatal("expected fire at hit 1")
+	}
+	// Re-arming resets the counter, so hit 1 fires again.
+	if err := Enable("fault.test@1"); err != nil {
+		t.Fatal(err)
+	}
+	defer Disable()
+	if testSite.Check() == nil {
+		t.Fatal("expected fire at hit 1 after re-arm")
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	for _, bad := range []string{"", "fault.test@0", "fault.test@x", "@1", "no.such.site", "fault.test@1,fault.test@2"} {
+		if err := Enable(bad); err == nil {
+			Disable()
+			t.Fatalf("Enable(%q) accepted", bad)
+		}
+	}
+	if Enabled() {
+		t.Fatal("failed Enable must not arm")
+	}
+}
+
+func TestSitesListsRegistrations(t *testing.T) {
+	var found, foundCrash bool
+	for _, si := range Sites() {
+		switch si.Name {
+		case "fault.test":
+			found = true
+			if si.PanicOnly {
+				t.Fatal("fault.test marked panic-only")
+			}
+		case "fault.test.crash":
+			foundCrash = true
+			if !si.PanicOnly {
+				t.Fatal("fault.test.crash not marked panic-only")
+			}
+		}
+	}
+	if !found || !foundCrash {
+		t.Fatalf("Sites() misses fixtures: %v", Sites())
+	}
+}

@@ -18,6 +18,8 @@
 //	ctxloop      unbounded fixpoint/drain loops that never observe ctx
 //	floatfold    float accumulation inside unsorted map iteration
 //	             (bit-determinism)
+//	panicguard   recover() sites lacking a justification comment
+//	             (crash-isolation discipline)
 //
 // A finding is suppressed by an allowlist comment on the flagged line
 // (or the line above, or the enclosing function's doc comment):
@@ -212,6 +214,7 @@ var Analyzers = []*Analyzer{
 	FrozenWrite,
 	CtxLoop,
 	FloatFold,
+	PanicGuard,
 }
 
 // Check runs every analyzer in suite over the loaded target packages and

@@ -36,6 +36,10 @@ func TestFloatFoldFixture(t *testing.T) {
 	RunAnalyzer(t, repoRoot(t), []*Analyzer{FloatFold}, fixturePattern("floatfold"))
 }
 
+func TestPanicGuardFixture(t *testing.T) {
+	RunAnalyzer(t, repoRoot(t), []*Analyzer{PanicGuard}, fixturePattern("panicguard"))
+}
+
 // TestTreeClean runs the full suite over the real tree, mirroring the
 // CI vadalint step: the repository must stay free of unsuppressed
 // findings. (go list's ./... pattern skips testdata trees, so the

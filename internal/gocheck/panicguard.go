@@ -1,0 +1,56 @@
+package gocheck
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PanicGuard keeps the engines' crash-isolation discipline auditable:
+// a recover() is a deliberate decision to keep running after an
+// invariant was violated, so every site must say why that is safe —
+// which error the caller sees, and why the session stays consistent.
+// The analyzer flags every call to the builtin recover unless the line
+// (or the enclosing function's doc comment) carries
+// //vadalint:panicguard <reason>. It runs over the whole tree: a
+// recover() anywhere in library code is load-bearing and must be
+// justified.
+var PanicGuard = &Analyzer{
+	Name: "panicguard",
+	Doc:  "flags recover() sites lacking a //vadalint:panicguard justification",
+	Run:  runPanicGuard,
+}
+
+func runPanicGuard(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Syntax {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isBuiltinRecover(info, call) {
+					return true
+				}
+				// The function doc comment is an accepted suppression
+				// site, mirroring program analyzers' ReportfIn.
+				pass.ReportfIn(pass.Pkg, fd.Doc, call.Pos(),
+					"recover() without a justification: state what error the caller sees and why the session stays consistent (//vadalint:panicguard <reason>)")
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isBuiltinRecover reports whether call invokes the builtin recover —
+// not a shadowing local function or method of the same name.
+func isBuiltinRecover(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "recover" {
+		return false
+	}
+	_, ok = objOf(info, id).(*types.Builtin)
+	return ok
+}

@@ -1,0 +1,57 @@
+// Package a is the panicguard fixture: recover() sites with and
+// without a justification comment.
+package a
+
+import "fmt"
+
+// bareRecover has no justification anywhere: flagged.
+func bareRecover() (err error) {
+	defer func() {
+		if r := recover(); r != nil { // want "recover\(\) without a justification"
+			err = fmt.Errorf("recovered: %v", r)
+		}
+	}()
+	return nil
+}
+
+// lineJustified carries the allowlist comment on the recover line: clean.
+func lineJustified() (err error) {
+	defer func() {
+		if r := recover(); r != nil { //vadalint:panicguard fixture: caller sees a wrapped error, no state mutated yet
+			err = fmt.Errorf("recovered: %v", r)
+		}
+	}()
+	return nil
+}
+
+// docJustified justifies every recover in its doc comment: clean.
+//
+//vadalint:panicguard fixture: both recovers convert crashes to errors before any mutation
+func docJustified() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("recovered: %v", r)
+		}
+	}()
+	defer func() {
+		recover()
+	}()
+	return nil
+}
+
+// reasonless tags the line but gives no reason: still flagged, with the
+// demand for a reason appended.
+func reasonless() {
+	defer func() {
+		//vadalint:panicguard
+		recover() // want "needs a reason to suppress"
+	}()
+}
+
+// shadowed calls a local function named recover, not the builtin: clean.
+func shadowed() {
+	recover := func() any { return nil }
+	if r := recover(); r != nil {
+		panic(r)
+	}
+}

@@ -12,17 +12,24 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 
 	"repro/internal/analysis"
 	"repro/internal/ast"
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/fault"
 	"repro/internal/planner"
 	"repro/internal/rewrite"
 	"repro/internal/storage"
 	"repro/internal/term"
 )
+
+// siteLoad guards the streaming-load seam: it fires at the head of
+// LoadChunk, before the chunk is admitted, so an injected failure drops
+// nothing the engine has accepted.
+var siteLoad = fault.NewSite("pipeline.load")
 
 // ErrInconsistent mirrors chase.ErrInconsistent for the pipeline engine.
 var ErrInconsistent = errors.New("pipeline: knowledge base is inconsistent")
@@ -198,7 +205,18 @@ func (s *Session) Load(facts ...ast.Fact) {
 // consulted, so a chunk already pulled from a cursor is never dropped
 // (the caller stops before pulling the next one); duplicates are
 // skipped, so re-feeding after an interrupted load stays idempotent.
-func (s *Session) LoadChunk(ctx context.Context, facts []ast.Fact) error {
+// A crash mid-chunk (storage fault) is recovered into a typed error with
+// the already-admitted prefix intact, so re-feeding the chunk resumes
+// exactly where the crash struck.
+func (s *Session) LoadChunk(ctx context.Context, facts []ast.Fact) (err error) {
+	defer func() {
+		if r := recover(); r != nil { //vadalint:panicguard load-path crash isolation: convert storage faults into typed resumable errors
+			err = &core.PanicError{Engine: "pipeline load", Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if err := siteLoad.Check(); err != nil {
+		return fmt.Errorf("pipeline: load: %w", err)
+	}
 	s.Load(facts...)
 	return ctx.Err()
 }
@@ -247,6 +265,7 @@ func (s *Session) tagTwinFact(twin string, f ast.Fact) ast.Fact {
 // survives quiescence).
 func (s *Session) Next(ctx context.Context, pred string, n int) (ast.Fact, bool, error) {
 	s.ctx, s.ctxDone = ctx, false
+	s.clearResumableFailure()
 	h := s.hubs[pred]
 	if h == nil {
 		return ast.Fact{}, false, nil
@@ -327,8 +346,12 @@ func (s *Session) step(f *ruleFilter) stepResult {
 				if m.Retracted {
 					continue // superseded aggregate intermediate
 				}
-				got, err := s.fire(f, i, m)
+				got, err := s.fireGuarded(f, i, m)
 				if err != nil {
+					// The delta's firing did not complete: rewind the cursor
+					// so a resumed session re-fires it (idempotently) instead
+					// of silently losing its derivations.
+					f.cursors[i]--
 					s.failure = err
 					return stepDry
 				}
@@ -426,8 +449,9 @@ func (s *Session) sweep() bool {
 				if m.Retracted {
 					continue
 				}
-				got, err := s.fire(f, i, m)
+				got, err := s.fireGuarded(f, i, m)
 				if err != nil {
+					f.cursors[i]-- // resume re-fires the delta (see step)
 					s.failure = err
 					return false
 				}
@@ -450,6 +474,39 @@ func (s *Session) allQuiesced() bool {
 		}
 	}
 	return true
+}
+
+// fireGuarded runs fire with crash isolation: a panic during the firing
+// (a storage fault mid-admission, say) is recovered into a positioned
+// engine error. Mutations are per-fact atomic and the caller rewinds the
+// delta cursor on error, so the session stays consistent and resumable.
+func (s *Session) fireGuarded(f *ruleFilter, pos int, m *core.FactMeta) (n int, err error) {
+	defer func() {
+		if r := recover(); r != nil { //vadalint:panicguard firing crash isolation: surface a positioned resumable error, cursor rewinds at the call site
+			err = &core.PanicError{Engine: "pipeline", Rule: f.cr.Rule, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return s.fire(f, pos, m)
+}
+
+// clearResumableFailure lifts a latched terminal failure the session can
+// in fact recover from, at the start of a fresh drive call: a recovered
+// crash (the crashed delta's cursor was rewound, re-firing is
+// idempotent) always clears; a budget failure clears once the budget has
+// been raised past the admitted count. Inconsistency and genuine rule
+// errors stay terminal — re-firing would just reproduce them.
+func (s *Session) clearResumableFailure() {
+	if s.failure == nil {
+		return
+	}
+	var pe *core.PanicError
+	if errors.As(s.failure, &pe) {
+		s.failure = nil
+		return
+	}
+	if errors.Is(s.failure, ErrBudget) && s.derivations < s.budget {
+		s.failure = nil
+	}
 }
 
 // fire evaluates filter f with body atom pos pinned to delta m, admitting
@@ -721,6 +778,7 @@ func (s *Session) replaceTagTwin(old, hf ast.Fact) {
 // point; the streaming API is Next.
 func (s *Session) Drain(ctx context.Context) error {
 	s.ctx, s.ctxDone = ctx, false
+	s.clearResumableFailure()
 	// Drive every output hub to exhaustion; if the program declares no
 	// outputs, drive every IDB predicate (universal tuple inference).
 	targets := make([]string, 0, len(s.c.prog.Outputs))
@@ -773,9 +831,24 @@ func (s *Session) LoadProgramFacts() {
 // Run loads facts, drains the pipeline and returns the materialized
 // result. Cancelling ctx aborts the fixpoint between rule firings.
 func (s *Session) Run(ctx context.Context, edb []ast.Fact) error {
+	if err := s.loadGuarded(edb); err != nil {
+		return err
+	}
+	return s.Drain(ctx)
+}
+
+// loadGuarded runs Run's initial loads under the same crash isolation as
+// LoadChunk: loading skips duplicates, so a resumed Run re-feeding the
+// same facts admits only what the crash cut off.
+func (s *Session) loadGuarded(edb []ast.Fact) (err error) {
+	defer func() {
+		if r := recover(); r != nil { //vadalint:panicguard load-path crash isolation: convert storage faults into typed resumable errors
+			err = &core.PanicError{Engine: "pipeline load", Value: r, Stack: debug.Stack()}
+		}
+	}()
 	s.LoadProgramFacts()
 	s.Load(edb...)
-	return s.Drain(ctx)
+	return nil
 }
 
 // Output returns pred's facts with @post directives applied, like
@@ -799,6 +872,17 @@ func (s *Session) Buffer() *storage.BufferManager { return s.bm }
 
 // Derivations reports the number of admitted facts.
 func (s *Session) Derivations() int { return s.derivations }
+
+// SetBudget replaces the derivation budget for subsequent admissions —
+// how a session resumes after an ErrBudget partial result (the latched
+// budget failure clears on the next drive once the budget allows more).
+func (s *Session) SetBudget(n int) { s.budget = n }
+
+// Quiesced reports whether the pipeline has reached its fixpoint: no
+// failure is latched and no filter has unconsumed deltas. After an
+// interrupted run it distinguishes "the answer is complete" from "a
+// resume would derive more".
+func (s *Session) Quiesced() bool { return s.failure == nil && s.allQuiesced() }
 
 // Program returns the rewritten program the session executes.
 func (s *Session) Program() *ast.Program { return s.c.prog }

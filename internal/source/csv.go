@@ -31,7 +31,7 @@ func (CSV) Pushdown(Binding) Pushdown { return Pushdown{Query: true, Columns: tr
 func (d CSV) Open(_ context.Context, b Binding) (RecordCursor, error) {
 	f, err := os.Open(b.Target)
 	if err != nil {
-		return nil, fmt.Errorf("source: open %s: %w", b.Target, err)
+		return nil, Classify(fmt.Errorf("source: open %s: %w", b.Target, err))
 	}
 	r := csv.NewReader(f)
 	if d.Comma != 0 {
@@ -85,7 +85,7 @@ func (c *csvCursor) Next(ctx context.Context) ([][]term.Value, error) {
 				c.done = true
 				break
 			}
-			return nil, fmt.Errorf("source: read %s: %w", c.target, err)
+			return nil, Classify(fmt.Errorf("source: read %s: %w", c.target, err))
 		}
 		row, err := projectRecord(rec, c.proj, c.target)
 		if err != nil {
@@ -126,7 +126,7 @@ func (c *csvCursor) Close() error { return c.f.Close() }
 func (d CSV) WriteAll(_ context.Context, b Binding, rows [][]term.Value) error {
 	f, err := os.Create(b.Target)
 	if err != nil {
-		return fmt.Errorf("source: create %s: %w", b.Target, err)
+		return Classify(fmt.Errorf("source: create %s: %w", b.Target, err))
 	}
 	defer f.Close()
 	w := csv.NewWriter(f)
@@ -135,7 +135,7 @@ func (d CSV) WriteAll(_ context.Context, b Binding, rows [][]term.Value) error {
 	}
 	if len(b.Columns) > 0 {
 		if err := w.Write(b.Columns); err != nil {
-			return err
+			return Classify(fmt.Errorf("source: write %s: %w", b.Target, err))
 		}
 	}
 	rec := make([]string, 0, 8)
@@ -145,9 +145,12 @@ func (d CSV) WriteAll(_ context.Context, b Binding, rows [][]term.Value) error {
 			rec = append(rec, EncodeCell(v))
 		}
 		if err := w.Write(rec); err != nil {
-			return err
+			return Classify(fmt.Errorf("source: write %s: %w", b.Target, err))
 		}
 	}
 	w.Flush()
-	return w.Error()
+	if err := w.Error(); err != nil {
+		return Classify(fmt.Errorf("source: write %s: %w", b.Target, err))
+	}
+	return nil
 }

@@ -31,7 +31,7 @@ func (JSONL) Pushdown(Binding) Pushdown { return Pushdown{Query: true, Columns: 
 func (JSONL) Open(_ context.Context, b Binding) (RecordCursor, error) {
 	f, err := os.Open(b.Target)
 	if err != nil {
-		return nil, fmt.Errorf("source: open %s: %w", b.Target, err)
+		return nil, Classify(fmt.Errorf("source: open %s: %w", b.Target, err))
 	}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
@@ -59,7 +59,7 @@ func (c *jsonlCursor) Next(ctx context.Context) ([][]term.Value, error) {
 	for len(out) < ChunkSize {
 		if !c.sc.Scan() {
 			if err := c.sc.Err(); err != nil {
-				return nil, fmt.Errorf("source: read %s: %w", c.target, err)
+				return nil, Classify(fmt.Errorf("source: read %s: %w", c.target, err))
 			}
 			c.done = true
 			break
@@ -224,7 +224,7 @@ func encodeJSONCell(v term.Value) any {
 func (JSONL) WriteAll(_ context.Context, b Binding, rows [][]term.Value) error {
 	f, err := os.Create(b.Target)
 	if err != nil {
-		return fmt.Errorf("source: create %s: %w", b.Target, err)
+		return Classify(fmt.Errorf("source: create %s: %w", b.Target, err))
 	}
 	defer f.Close()
 	w := bufio.NewWriter(f)
@@ -239,7 +239,7 @@ func (JSONL) WriteAll(_ context.Context, b Binding, rows [][]term.Value) error {
 				obj[b.Columns[j]] = encodeJSONCell(v)
 			}
 			if err := enc.Encode(obj); err != nil {
-				return err
+				return Classify(fmt.Errorf("source: write %s: %w", b.Target, err))
 			}
 			continue
 		}
@@ -248,8 +248,11 @@ func (JSONL) WriteAll(_ context.Context, b Binding, rows [][]term.Value) error {
 			arr[i] = encodeJSONCell(v)
 		}
 		if err := enc.Encode(arr); err != nil {
-			return err
+			return Classify(fmt.Errorf("source: write %s: %w", b.Target, err))
 		}
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return Classify(fmt.Errorf("source: write %s: %w", b.Target, err))
+	}
+	return nil
 }

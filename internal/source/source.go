@@ -16,7 +16,17 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/term"
+)
+
+// Injection sites guarding the two seams every driver funnels through:
+// opening a scan and pulling a chunk. Both fire as transient errors, so
+// the chaos suite exercises the binding layer's retry path for every
+// driver without per-driver hooks.
+var (
+	siteOpen = fault.NewSite("source.open")
+	siteRead = fault.NewSite("source.read")
 )
 
 // ChunkSize is how many rows a built-in driver yields per RecordCursor
@@ -121,19 +131,44 @@ func Open(ctx context.Context, d Driver, b Binding) (RecordCursor, error) {
 	if len(b.Columns) > 0 && !push.Columns {
 		return nil, fmt.Errorf("source: driver %q for %s does not support @mapping", b.Driver, b.Pred)
 	}
+	if err := siteOpen.Check(); err != nil {
+		return nil, Classify(fmt.Errorf("source: open %s via %q: %w", b.Pred, b.Driver, err))
+	}
 	inner := b
 	if b.Query != nil && !push.Query {
 		inner.Query = nil
 	}
 	cur, err := src.Open(ctx, inner)
 	if err != nil {
-		return nil, err
+		return nil, Classify(err)
 	}
 	if b.Query != nil && !push.Query {
 		cur = &filteredCursor{cur: cur, q: b.Query}
 	}
-	return cur, nil
+	return &checkedCursor{cur: cur}, nil
 }
+
+// checkedCursor guards every chunk pull with the source.read injection
+// site and classifies driver errors as transient where they qualify. The
+// site check runs before the pull, so an injected read failure consumes
+// nothing — like a context error, the cursor stays positioned and a
+// retry resumes exactly where the fault struck.
+type checkedCursor struct {
+	cur RecordCursor
+}
+
+func (c *checkedCursor) Next(ctx context.Context) ([][]term.Value, error) {
+	if err := siteRead.Check(); err != nil {
+		return nil, Classify(fmt.Errorf("source: read: %w", err))
+	}
+	chunk, err := c.cur.Next(ctx)
+	if err != nil {
+		return nil, Classify(err)
+	}
+	return chunk, nil
+}
+
+func (c *checkedCursor) Close() error { return c.cur.Close() }
 
 // filteredCursor applies a Query the driver did not push down. It never
 // returns a non-final empty chunk: empty post-filter results pull again

@@ -95,7 +95,7 @@ func TestCSVQueryPushdown(t *testing.T) {
 	defer cur.Close()
 	// The csv driver pushes the query: the cursor itself only surfaces
 	// matching rows (no post-filter wrapper involved).
-	if _, wrapped := cur.(*filteredCursor); wrapped {
+	if _, wrapped := cur.(*checkedCursor).cur.(*filteredCursor); wrapped {
 		t.Fatal("csv driver did not push the query down (post-filter wrapper applied)")
 	}
 	rows := drain(t, cur)
@@ -123,7 +123,7 @@ func TestPostFilterFallback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, wrapped := cur.(*filteredCursor); !wrapped {
+	if _, wrapped := cur.(*checkedCursor).cur.(*filteredCursor); !wrapped {
 		t.Fatal("non-pushdown source was not post-filtered")
 	}
 	rows := drain(t, cur)

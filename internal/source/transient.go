@@ -1,0 +1,80 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"syscall"
+
+	"repro/internal/fault"
+)
+
+// Transient marks a source error as a retryable I/O condition: the scan
+// failed for a reason that may clear on its own (interrupted syscall,
+// reset connection, injected fault), not because the binding or the data
+// is wrong. The binding layer retries Transient errors with backoff;
+// everything else surfaces immediately.
+//
+// Transient wraps the underlying error (%w semantics), so errors.Is /
+// errors.As see through it to the root cause.
+type Transient struct {
+	Err error
+}
+
+func (t *Transient) Error() string { return "source: transient: " + t.Err.Error() }
+
+// Unwrap exposes the wrapped cause to errors.Is/As.
+func (t *Transient) Unwrap() error { return t.Err }
+
+// IsTransient reports whether err is (or wraps) a transient source
+// error, i.e. whether a retry is worthwhile.
+func IsTransient(err error) bool {
+	var t *Transient
+	return errors.As(err, &t)
+}
+
+// Classify wraps err in *Transient when it matches a retryable I/O
+// class, and returns it unchanged otherwise. Retryable classes:
+//
+//   - injected faults (*fault.Error) — what makes retry paths testable
+//   - net.Error timeouts and os.ErrDeadlineExceeded
+//   - interrupted / flaky syscalls: EINTR, EAGAIN, ECONNRESET,
+//     ETIMEDOUT, EPIPE
+//   - io.ErrUnexpectedEOF (a stream cut mid-record; resumable cursors
+//     re-read nothing, so retrying is safe)
+//
+// Context cancellation and deadline errors are deliberately NOT
+// transient: they are the caller's intent and must surface at once.
+// Classify is idempotent — an already-Transient error passes through.
+func Classify(err error) error {
+	if err == nil || IsTransient(err) {
+		return err
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	var fe *fault.Error
+	if errors.As(err, &fe) {
+		return &Transient{Err: err}
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return &Transient{Err: err}
+	}
+	for _, class := range []error{
+		os.ErrDeadlineExceeded,
+		io.ErrUnexpectedEOF,
+		syscall.EINTR,
+		syscall.EAGAIN,
+		syscall.ECONNRESET,
+		syscall.ETIMEDOUT,
+		syscall.EPIPE,
+	} {
+		if errors.Is(err, class) {
+			return &Transient{Err: err}
+		}
+	}
+	return err
+}

@@ -5,8 +5,15 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/term"
 )
+
+// siteFreeze guards the epoch boundary. Freeze has no error path, so the
+// site is panic-only, and it fires before any relation is touched — an
+// injected crash leaves every snapshot at the previous epoch, which is
+// exactly the state a resumed run re-freezes from.
+var siteFreeze = fault.NewPanicSite("storage.freeze")
 
 // Database is the in-memory instance the engines operate on: one relation
 // per predicate, a null factory, the database-wide term interner shared
@@ -77,6 +84,7 @@ func (db *Database) Predicates() []string {
 // The parallel chase freezes the database before fanning a delta batch
 // out to its match workers and mutates it only on the serial admit path.
 func (db *Database) Freeze() {
+	siteFreeze.Hit()
 	db.gen++
 	for _, name := range db.names {
 		db.rels[name].Freeze()

@@ -17,8 +17,14 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/term"
 )
+
+// siteInsert guards fact admission. Insert has no error path (it reports
+// new/duplicate), so the site is panic-only; it fires before the relation
+// mutates, keeping the store consistent through an injected crash.
+var siteInsert = fault.NewPanicSite("storage.insert")
 
 const (
 	fnvOffset64 = 14695981039346656037
@@ -276,6 +282,10 @@ func (r *Relation) rowEqual(ri int, row []uint32) bool {
 // Insert appends m unless an exactly equal fact is already stored.
 // It reports whether the fact was new.
 func (r *Relation) Insert(m *core.FactMeta) bool {
+	// The injection site fires before any mutation: an injected crash
+	// mid-batch leaves the relation exactly as admitted so far, and the
+	// engines' requeue paths re-derive the rest on resume.
+	siteInsert.Hit()
 	if len(m.Fact.Args) > r.arity {
 		r.restride(len(m.Fact.Args))
 	}

@@ -155,6 +155,11 @@ func bindErr(line, col int, format string, args ...any) error {
 // on the next call, so no rows are lost or re-read. Once every input is
 // drained the stage is done for the session's lifetime, however many
 // times Run or Stream are invoked afterwards.
+//
+// Transient source failures (IsTransient) are retried in place with
+// capped exponential backoff (Options.Retry): a failed chunk pull
+// consumed nothing, so the retry — and, should the retries run out, the
+// next stage call — resumes at the exact row the fault struck.
 func (s *Session) stage(ctx context.Context) error {
 	if s.loaded {
 		return nil
@@ -166,31 +171,49 @@ func (s *Session) stage(ctx context.Context) error {
 			continue
 		}
 		if s.cur == nil {
-			cur, err := source.Open(ctx, bio.drv, bio.b)
+			err := s.retryTransient(ctx, func() error {
+				cur, err := source.Open(ctx, bio.drv, bio.b)
+				if err == nil {
+					s.cur = cur
+				}
+				return err
+			})
 			if err != nil {
 				return err
 			}
-			s.cur = cur
 		}
 		for {
-			chunk, err := s.cur.Next(ctx)
-			if err != nil {
-				if ctx.Err() != nil {
-					return err // cancellation, not a source failure: resumable
+			chunk := s.chunk
+			if chunk == nil {
+				err := s.retryTransient(ctx, func() error {
+					var err error
+					chunk, err = s.cur.Next(ctx)
+					return err
+				})
+				if err != nil {
+					if ctx.Err() != nil || IsTransient(err) {
+						// Cancellation, or a transient fault that outlived its
+						// retries: the failed pull consumed nothing, so the
+						// cursor stays open and the next call resumes here.
+						return err
+					}
+					s.cur.Close()
+					s.cur = nil
+					return err
 				}
-				s.cur.Close()
-				s.cur = nil
-				return err
+				if len(chunk) == 0 {
+					break
+				}
 			}
-			if len(chunk) == 0 {
-				break
-			}
-			// A pulled chunk is always admitted — the cursor has moved past
-			// it — and cancellation is honored before the next pull, so an
-			// interrupted load loses and re-reads nothing.
+			// The cursor has moved past the pulled chunk, so the chunk is
+			// held on the session until the engine admits it: a failed or
+			// interrupted load resumes by re-admitting it (duplicates are
+			// skipped), losing and re-reading nothing.
+			s.chunk = chunk
 			if err := s.loadRows(ctx, bio.b.Pred, chunk); err != nil {
-				return err // cursor kept: the load resumes here
+				return err // chunk and cursor kept: the load resumes here
 			}
+			s.chunk = nil
 		}
 		s.cur.Close()
 		s.cur = nil
@@ -232,7 +255,9 @@ func (s *Session) loadRows(ctx context.Context, pred string, rows [][]term.Value
 	if s.pl != nil {
 		return s.pl.LoadChunk(ctx, facts)
 	}
-	s.ch.LoadFacts(facts)
+	if err := s.ch.LoadChunk(facts); err != nil {
+		return err
+	}
 	return ctx.Err()
 }
 

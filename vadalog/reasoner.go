@@ -166,6 +166,10 @@ func (r *Reasoner) Query(ctx context.Context, facts []Fact) (*Result, error) {
 func (r *Reasoner) Stream(ctx context.Context, facts []Fact, pred string) iter.Seq2[Fact, error] {
 	return func(yield func(Fact, error) bool) {
 		s := r.NewSession()
+		// The session is internal and unreachable once iteration ends, so
+		// whatever cut it short — an early break, cancellation mid-load —
+		// its open input cursor must be released here or it leaks.
+		defer s.Close()
 		s.Load(facts...)
 		for f, err := range s.Facts(ctx, pred) {
 			if !yield(f, err) || err != nil {

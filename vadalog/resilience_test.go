@@ -1,0 +1,372 @@
+package vadalog
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/source"
+	"repro/internal/term"
+)
+
+// flakyDriver is a Source whose cursor fails transiently a configured
+// number of times before each successful pull, recording every open and
+// close — the test double behind the retry-policy and cleanup tests.
+type flakyDriver struct {
+	rows     [][]term.Value
+	failures int // transient failures served before each successful Next
+	opened   int
+	closed   int
+}
+
+type flakyCursor struct {
+	d      *flakyDriver
+	rows   [][]term.Value
+	pos    int
+	fails  int
+	chunk  int
+	closed bool
+}
+
+func (d *flakyDriver) Open(ctx context.Context, b source.Binding) (source.RecordCursor, error) {
+	d.opened++
+	return &flakyCursor{d: d, rows: d.rows, chunk: 1}, nil
+}
+
+func (c *flakyCursor) Next(ctx context.Context) ([][]term.Value, error) {
+	if c.fails < c.d.failures {
+		c.fails++
+		return nil, &source.Transient{Err: fmt.Errorf("flaky: simulated outage %d", c.fails)}
+	}
+	c.fails = 0
+	if c.pos >= len(c.rows) {
+		return nil, nil
+	}
+	end := min(c.pos+c.chunk, len(c.rows))
+	chunk := c.rows[c.pos:end]
+	c.pos = end
+	return chunk, nil
+}
+
+func (c *flakyCursor) Close() error {
+	if !c.closed {
+		c.closed = true
+		c.d.closed++
+	}
+	return nil
+}
+
+func edgeRows(n int) [][]term.Value {
+	rows := make([][]term.Value, n)
+	for i := range rows {
+		rows[i] = []term.Value{Str(fmt.Sprintf("n%d", i)), Str(fmt.Sprintf("n%d", i+1))}
+	}
+	return rows
+}
+
+const flakyTC = `
+	@bind("edge","flaky","edges").
+	edge(X,Y) -> tc(X,Y).
+	edge(X,Y), tc(Y,Z) -> tc(X,Z).
+	@output("tc").
+`
+
+// TestRetryPolicyAbsorbsTransientFaults: a source that fails twice
+// before every pull is healed in place by the default policy (4
+// attempts) — the run succeeds, nothing is re-read, and the answer is
+// complete.
+func TestRetryPolicyAbsorbsTransientFaults(t *testing.T) {
+	d := &flakyDriver{rows: edgeRows(10), failures: 2}
+	opts := (&Options{Retry: &RetryPolicy{MaxAttempts: 4, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond}}).
+		RegisterDriver("flaky", d)
+	s, err := NewSession(MustParse(flakyTC), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("run with transient faults under retry: %v", err)
+	}
+	if got, want := len(s.Output("tc")), 10*11/2; got != want {
+		t.Fatalf("tc: %d facts, want %d", got, want)
+	}
+	if d.opened != 1 {
+		t.Errorf("source opened %d times; retries must not reopen", d.opened)
+	}
+	if d.closed != 1 {
+		t.Errorf("cursor closed %d times, want 1", d.closed)
+	}
+}
+
+// TestRetryExhaustionIsTransientAndResumable: with retrying disabled
+// (MaxAttempts 1) the fault surfaces still satisfying IsTransient, the
+// cursor is kept at the failed row, and re-running the session drains
+// the source without losing or duplicating rows.
+func TestRetryExhaustionIsTransientAndResumable(t *testing.T) {
+	d := &flakyDriver{rows: edgeRows(10), failures: 1}
+	opts := (&Options{Retry: &RetryPolicy{MaxAttempts: 1}}).RegisterDriver("flaky", d)
+	s, err := NewSession(MustParse(flakyTC), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := 0
+	for err := s.Run(); err != nil; err = s.Run() {
+		if !IsTransient(err) {
+			t.Fatalf("surfaced error is not transient: %v", err)
+		}
+		if runs++; runs > 2*len(d.rows)+2 {
+			t.Fatalf("session did not converge after %d runs: %v", runs, err)
+		}
+	}
+	if runs == 0 {
+		t.Fatal("flaky source never surfaced a transient error")
+	}
+	if got, want := len(s.Output("tc")), 10*11/2; got != want {
+		t.Fatalf("tc after resumes: %d facts, want %d", got, want)
+	}
+	if d.opened != 1 {
+		t.Errorf("source opened %d times; resumption must reuse the kept cursor", d.opened)
+	}
+}
+
+// TestPartialResultOnBudget: a run cut short by the derivation budget
+// returns a *PartialResult whose facts are readable, and raising the
+// budget and resuming completes the answer.
+func TestPartialResultOnBudget(t *testing.T) {
+	for _, engine := range []Engine{EnginePipeline, EngineChase} {
+		t.Run(fmt.Sprint(engine), func(t *testing.T) {
+			prog := MustParse(`
+				edge(X,Y) -> tc(X,Y).
+				edge(X,Y), tc(Y,Z) -> tc(X,Z).
+				@output("tc").
+			`)
+			s, err := NewSession(prog, &Options{Engine: engine, MaxDerivations: 25})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var facts []Fact
+			for i := 0; i < 20; i++ {
+				facts = append(facts, MakeFact("edge", Str(fmt.Sprintf("n%d", i)), Str(fmt.Sprintf("n%d", i+1))))
+			}
+			s.Load(facts...)
+			err = s.Run()
+			var pr *PartialResult
+			if !errors.As(err, &pr) {
+				t.Fatalf("budget-bounded run returned %v, want *PartialResult", err)
+			}
+			if !errors.Is(err, ErrBudget) {
+				t.Fatalf("PartialResult does not unwrap to ErrBudget: %v", err)
+			}
+			if pr.Quiesced() {
+				t.Fatal("budget-bounded partial result claims quiescence")
+			}
+			if pr.Derivations() == 0 || len(pr.Output("tc")) == 0 {
+				t.Fatalf("partial result is empty: %d derivations, %d tc facts",
+					pr.Derivations(), len(pr.Output("tc")))
+			}
+			pr.Session().SetMaxDerivations(0) // back to the default cap
+			for i := 0; err != nil; i++ {
+				if i == 5 {
+					t.Fatalf("resume did not converge: %v", err)
+				}
+				err = pr.Resume(context.Background())
+			}
+			if got, want := len(s.Output("tc")), 20*21/2; got != want {
+				t.Fatalf("tc after resume: %d facts, want %d", got, want)
+			}
+			if !s.Quiesced() {
+				t.Error("completed session does not report quiescence")
+			}
+		})
+	}
+}
+
+// TestPartialResultOnDeadline: an expired deadline surfaces as a
+// *PartialResult (unlike plain cancellation), and a fresh context
+// resumes the run to completion.
+func TestPartialResultOnDeadline(t *testing.T) {
+	prog := MustParse(`
+		edge(X,Y) -> tc(X,Y).
+		edge(X,Y), tc(Y,Z) -> tc(X,Z).
+		@output("tc").
+	`)
+	s, err := NewSession(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		s.Load(MakeFact("edge", Str(fmt.Sprintf("n%d", i)), Str(fmt.Sprintf("n%d", i+1))))
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	err = s.RunContext(ctx)
+	var pr *PartialResult
+	if !errors.As(err, &pr) {
+		t.Fatalf("deadline-bounded run returned %v, want *PartialResult", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("PartialResult does not unwrap to DeadlineExceeded: %v", err)
+	}
+	if pr.Quiesced() {
+		t.Fatal("deadline-bounded partial result claims quiescence")
+	}
+	if err := pr.Resume(context.Background()); err != nil {
+		t.Fatalf("resume with a fresh context: %v", err)
+	}
+	if got, want := len(s.Output("tc")), 20*21/2; got != want {
+		t.Fatalf("tc after resume: %d facts, want %d", got, want)
+	}
+}
+
+// TestCancellationIsNotPartial: context.Canceled is the caller's own
+// signal and must surface untouched, never dressed as a PartialResult.
+func TestCancellationIsNotPartial(t *testing.T) {
+	s, err := NewSession(MustParse(`a(1). @output("a").`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = s.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+	var pr *PartialResult
+	if errors.As(err, &pr) {
+		t.Fatalf("cancellation surfaced as a PartialResult: %v", err)
+	}
+}
+
+// TestWorkerPanicIsolation: a panic on a parallel chase match worker is
+// recovered into a positioned *PanicError — the process survives, the
+// error names the crashed rule, and the session resumes to the complete
+// answer.
+func TestWorkerPanicIsolation(t *testing.T) {
+	prog := MustParse(`
+		edge(X,Y) -> tc(X,Y).
+		edge(X,Y), tc(Y,Z) -> tc(X,Z).
+		@output("tc").
+	`)
+	s, err := NewSession(prog, &Options{Engine: EngineChase, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 200 edges: delta batches stay above the engine's fan-out threshold,
+	// so the crash really happens on a worker goroutine.
+	for i := 0; i < 200; i++ {
+		s.Load(MakeFact("edge", Str(fmt.Sprintf("n%d", i)), Str(fmt.Sprintf("n%d", i+1))))
+	}
+	if err := fault.Enable("chase.match@100!"); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Disable()
+	err = s.Run()
+	var pe *core.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("worker crash surfaced as %v, want *PanicError", err)
+	}
+	if pe.Engine != "chase" {
+		t.Errorf("PanicError.Engine = %q, want \"chase\"", pe.Engine)
+	}
+	if pe.Rule == nil || pe.Rule.Line <= 0 {
+		t.Errorf("PanicError is not positioned at the crashed rule: %+v", pe.Rule)
+	}
+	var fe *fault.Error
+	if !errors.As(err, &fe) {
+		t.Errorf("PanicError does not unwrap to the injected panic value: %v", err)
+	}
+	fault.Disable()
+	if err := s.Run(); err != nil {
+		t.Fatalf("resume after worker panic: %v", err)
+	}
+	if got, want := len(s.Output("tc")), 200*201/2; got != want {
+		t.Fatalf("tc after resume: %d facts, want %d", got, want)
+	}
+}
+
+// TestStreamEarlyBreakReleasesCursor: breaking out of Reasoner.Stream —
+// here because a cancelled context cut the load short, the case that
+// leaves a cursor open for resumption — must still release the cursor:
+// the internal session is unreachable afterwards, so Stream closes it.
+func TestStreamEarlyBreakReleasesCursor(t *testing.T) {
+	d := &flakyDriver{rows: edgeRows(10)}
+	opts := (&Options{Engine: EngineChase}).RegisterDriver("flaky", d)
+	r, err := Compile(MustParse(flakyTC), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var streamErr error
+	for _, e := range r.Stream(ctx, nil, "tc") {
+		streamErr = e
+	}
+	if !errors.Is(streamErr, context.Canceled) {
+		t.Fatalf("cancelled stream yielded %v, want context.Canceled", streamErr)
+	}
+	if d.opened != d.closed {
+		t.Fatalf("stream leaked cursors: %d opened, %d closed", d.opened, d.closed)
+	}
+}
+
+// TestStreamCompletedRunLeavesNoCursor: the plain early-break case — a
+// consumer stops after the first fact of a completed load — also ends
+// with every cursor released.
+func TestStreamCompletedRunLeavesNoCursor(t *testing.T) {
+	d := &flakyDriver{rows: edgeRows(10)}
+	opts := (&Options{}).RegisterDriver("flaky", d)
+	r, err := Compile(MustParse(flakyTC), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range r.Stream(context.Background(), nil, "tc") {
+		if e != nil {
+			t.Fatal(e)
+		}
+		if n++; n == 1 {
+			break
+		}
+	}
+	if n != 1 {
+		t.Fatalf("yielded %d facts before break, want 1", n)
+	}
+	if d.opened == 0 || d.opened != d.closed {
+		t.Fatalf("stream leaked cursors: %d opened, %d closed", d.opened, d.closed)
+	}
+}
+
+// TestFactsBreakKeepsSessionResumable: breaking out of Session.Facts
+// leaves the session consistent — a later Run completes the fixpoint
+// and the full answer is readable.
+func TestFactsBreakKeepsSessionResumable(t *testing.T) {
+	s, err := NewSession(MustParse(`
+		edge(X,Y) -> tc(X,Y).
+		edge(X,Y), tc(Y,Z) -> tc(X,Z).
+		@output("tc").
+	`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		s.Load(MakeFact("edge", Str(fmt.Sprintf("n%d", i)), Str(fmt.Sprintf("n%d", i+1))))
+	}
+	n := 0
+	for _, e := range s.Facts(context.Background(), "tc") {
+		if e != nil {
+			t.Fatal(e)
+		}
+		if n++; n == 3 {
+			break
+		}
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("run after early break: %v", err)
+	}
+	if got, want := len(s.Output("tc")), 10*11/2; got != want {
+		t.Fatalf("tc after break+run: %d facts, want %d", got, want)
+	}
+}

@@ -146,6 +146,11 @@ type Options struct {
 	// (RegisterDriver / source.Register). Use the RegisterDriver method
 	// to populate it.
 	Drivers map[string]Driver
+	// Retry tunes how sessions retry transient source I/O failures while
+	// staging @bind'ed inputs (see RetryPolicy and IsTransient). nil
+	// selects the default policy (4 attempts, 5ms base backoff doubling
+	// to a 500ms cap); MaxAttempts: 1 disables retrying.
+	Retry *RetryPolicy
 }
 
 // RegisterDriver makes d available to programs compiled with these
@@ -219,8 +224,9 @@ type Session struct {
 	binds      []boundIO
 	bindIdx    int
 	cur        RecordCursor
-	loaded     bool // every @bind'ed input has been drained (exactly once)
-	progLoaded bool // inline program facts admitted ahead of bound inputs
+	chunk      [][]term.Value // pulled but not yet admitted (engine load failed)
+	loaded     bool           // every @bind'ed input has been drained (exactly once)
+	progLoaded bool           // inline program facts admitted ahead of bound inputs
 }
 
 // NewSession compiles prog and opens a session over it in one step (the
@@ -282,9 +288,21 @@ func (s *Session) Run() error { return s.RunContext(context.Background()) }
 // at its cursor, losing and re-reading nothing). Bound inputs and staged
 // facts are loaded exactly once per session; further calls only resume
 // the engine (a no-op unless facts were loaded in between).
+//
+// A run cut short by a resource bound — the derivation budget or ctx's
+// deadline — returns a *PartialResult: the facts derived so far plus the
+// resumable session (see PartialResult). Transient source I/O failures
+// are retried per Options.Retry before surfacing; when one does surface
+// it still satisfies IsTransient and the session stays resumable at the
+// failed cursor. A crash recovered inside an engine surfaces as a
+// *PanicError with the engine rolled back to a consistent, resumable
+// boundary.
 func (s *Session) RunContext(ctx context.Context) error {
 	if err := s.stage(ctx); err != nil {
-		return err
+		// mapErr: a budget can already strike while loading bound inputs,
+		// and it must surface as the same typed PartialResult as one
+		// striking mid-fixpoint.
+		return s.wrapPartial(mapErr(err))
 	}
 	facts := s.pending
 	s.pending = nil
@@ -292,16 +310,20 @@ func (s *Session) RunContext(ctx context.Context) error {
 	switch {
 	case s.pl != nil:
 		if err := s.pl.Run(ctx, facts); err != nil {
-			return mapErr(err)
+			// Restore the staged facts: a resumed run re-feeds them, and
+			// since loading skips duplicates nothing is admitted twice.
+			s.pending = facts
+			return s.wrapPartial(mapErr(err))
 		}
 	default:
 		res, err := s.ch.Run(ctx, facts)
 		if err != nil {
-			return mapErr(err)
+			s.pending = facts
+			return s.wrapPartial(mapErr(err))
 		}
 		s.chRes = res
 	}
-	return s.writeBoundOutputs(ctx)
+	return s.wrapPartial(s.writeBoundOutputs(ctx))
 }
 
 func mapErr(err error) error {
@@ -477,6 +499,11 @@ func (s *Session) Derivations() int {
 		return s.pl.Derivations()
 	case s.chRes != nil:
 		return s.chRes.Derivations
+	case s.ch != nil:
+		// No materialized result yet — a run interrupted by a bound or
+		// fault: report the engine's live count, which is what a
+		// PartialResult's Derivations must reflect.
+		return s.ch.Derivations()
 	default:
 		return 0
 	}
