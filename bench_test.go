@@ -864,6 +864,74 @@ func BenchmarkStreamingLoad(b *testing.B) {
 	})
 }
 
+// BenchmarkScalingMatrix records the partitioned-admission scaling curve
+// (PR 10): worker count × shard count over three admission-bound
+// generator families, each wired to the million-fact range at full
+// REPRO_BENCH_SCALE. Every cell runs the batched chase (the engine with
+// both axes) on identical inputs, so the final database is
+// byte-identical across the whole matrix and the only variables are
+// match parallelism and duplicate-table partitioning. ns/op, B/op and
+// allocs/op per cell feed BENCH_pr10.json via cmd/benchjson; on a
+// single-core host the w=1/s=1 column is the serial overhead control.
+func BenchmarkScalingMatrix(b *testing.B) {
+	target := int(1_000_000 * benchScale())
+	if target < 2_000 {
+		target = 2_000
+	}
+	type scenario struct {
+		name  string
+		src   string
+		out   string
+		facts []ast.Fact
+	}
+	var scenarios []scenario
+
+	// graphs: scale-free ownership, companycontrol (recursive msum). Edge
+	// count ≈ 2n under PaperParams, so halve the node count.
+	g := graphs.ScaleFree(target/2, graphs.PaperParams(), 42)
+	scenarios = append(scenarios, scenario{"graphs", graphs.ControlProgram, "control", g.OwnFacts()})
+
+	// iwarded: synthB split across its EDB relations.
+	cfg, ok := iwarded.Scenario("synthB")
+	if !ok {
+		b.Fatal("synthB scenario missing")
+	}
+	if cfg.EDBRelations == 0 {
+		cfg.EDBRelations = 4
+	}
+	cfg.FactsPerRel = target / cfg.EDBRelations
+	iw, err := iwarded.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scenarios = append(scenarios, scenario{"iwarded", iw.Source, "", iw.Facts})
+
+	// lubm: universities sized off the measured facts-per-university.
+	perUni := len(lubm.Generate(lubm.Config{Universities: 1, Seed: 3}))
+	unis := target / perUni
+	if unis < 1 {
+		unis = 1
+	}
+	lf := lubm.Generate(lubm.Config{Universities: unis, Seed: 3})
+	scenarios = append(scenarios, scenario{"lubm", lubm.Ontology + lubm.Queries()[8], "q9", lf})
+
+	for _, sc := range scenarios {
+		for _, workers := range []int{1, 2, 4, 8} {
+			for _, shards := range []int{1, 2, 8} {
+				opts := vadalog.Options{Engine: vadalog.EngineChase,
+					Parallelism: workers, Shards: shards}
+				b.Run(fmt.Sprintf("%s/w=%d/s=%d", sc.name, workers, shards), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						runOnce(b, sc.src, sc.facts, sc.out, &opts)
+					}
+					b.ReportMetric(float64(len(sc.facts)), "input-facts")
+				})
+			}
+		}
+	}
+}
+
 // TestExperimentTablesSmoke regenerates two representative tables end to
 // end (what cmd/vadabench prints) as a functional smoke test.
 func TestExperimentTablesSmoke(t *testing.T) {

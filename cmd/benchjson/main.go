@@ -1,0 +1,132 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// record suitable for committing next to the code it measures (the
+// BENCH_*.json files at the repo root). It reads the benchmark output on
+// stdin and writes one JSON document on stdout:
+//
+//	go test -run '^$' -bench ScalingMatrix -benchmem . | benchjson > BENCH_pr10.json
+//
+// Each benchmark line becomes an entry keyed by its full sub-benchmark
+// path with the trailing -GOMAXPROCS suffix split into a "procs" field,
+// so axes encoded in sub-benchmark names (w=4/s=8, -cpu 1,4 runs) stay
+// queryable. All measurements — the standard ns/op, B/op, allocs/op and
+// any custom b.ReportMetric units — land in a flat "metrics" map.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Goos    string            `json:"goos,omitempty"`
+	Goarch  string            `json:"goarch,omitempty"`
+	Pkg     string            `json:"pkg,omitempty"`
+	CPU     string            `json:"cpu,omitempty"`
+	Env     map[string]string `json:"env,omitempty"`
+	Results []Benchmark       `json:"results"`
+}
+
+func main() {
+	envKeys := flag.String("env", "REPRO_BENCH_SCALE,GOMAXPROCS",
+		"comma-separated environment variables to record when set")
+	flag.Parse()
+
+	rep, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	for _, k := range strings.Split(*envKeys, ",") {
+		if v := os.Getenv(strings.TrimSpace(k)); v != "" {
+			if rep.Env == nil {
+				rep.Env = map[string]string{}
+			}
+			rep.Env[strings.TrimSpace(k)] = v
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*Report, error) {
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	rep := &Report{Results: []Benchmark{}}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseLine(line)
+			if err != nil {
+				return nil, err
+			}
+			rep.Results = append(rep.Results, b)
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseLine decodes one result line:
+//
+//	BenchmarkX/sub-4   10   123 ns/op   45 B/op   6 allocs/op   7.0 widgets
+func parseLine(line string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Benchmark{}, fmt.Errorf("short benchmark line: %q", line)
+	}
+	b := Benchmark{Metrics: map[string]float64{}}
+	b.Name, b.Procs = splitProcs(strings.TrimPrefix(fields[0], "Benchmark"))
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("iterations in %q: %v", line, err)
+	}
+	b.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("value %q in %q: %v", fields[i], line, err)
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, nil
+}
+
+// splitProcs strips the trailing -GOMAXPROCS suffix the testing package
+// appends to every benchmark name (absent only when GOMAXPROCS is 1 and
+// -cpu was not set, in which case procs is reported as 1).
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name, 1
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n <= 0 {
+		return name, 1
+	}
+	return name[:i], n
+}

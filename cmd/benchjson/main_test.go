@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkScalingMatrix/graphs/w=1/s=1         	       3	  11551267 ns/op	      2168 derived-facts	 5215560 B/op	   51370 allocs/op
+BenchmarkScalingMatrix/graphs/w=4/s=8-4       	       3	  10133282 ns/op	      2168 derived-facts	 5330504 B/op	   52062 allocs/op
+PASS
+ok  	repro	0.040s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "repro" {
+		t.Errorf("header: %+v", rep)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("results: %d", len(rep.Results))
+	}
+	r0 := rep.Results[0]
+	if r0.Name != "ScalingMatrix/graphs/w=1/s=1" || r0.Procs != 1 || r0.Iterations != 3 {
+		t.Errorf("r0: %+v", r0)
+	}
+	if r0.Metrics["ns/op"] != 11551267 || r0.Metrics["allocs/op"] != 51370 ||
+		r0.Metrics["B/op"] != 5215560 || r0.Metrics["derived-facts"] != 2168 {
+		t.Errorf("r0 metrics: %v", r0.Metrics)
+	}
+	r1 := rep.Results[1]
+	if r1.Name != "ScalingMatrix/graphs/w=4/s=8" || r1.Procs != 4 {
+		t.Errorf("r1: %+v", r1)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := parse(bufio.NewScanner(strings.NewReader("BenchmarkBroken\n"))); err == nil {
+		t.Error("short line accepted")
+	}
+	if _, err := parse(bufio.NewScanner(strings.NewReader("BenchmarkX-4 ten 1 ns/op\n"))); err == nil {
+		t.Error("non-numeric iteration count accepted")
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	for _, tc := range []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"X/sub-8", "X/sub", 8},
+		{"X/s=1", "X/s=1", 1}, // =1 is part of the axis name, not a procs suffix
+		{"X/w-2/s-4", "X/w-2/s", 4},
+		{"Plain", "Plain", 1},
+	} {
+		name, procs := splitProcs(tc.in)
+		if name != tc.name || procs != tc.procs {
+			t.Errorf("splitProcs(%q) = %q,%d want %q,%d", tc.in, name, procs, tc.name, tc.procs)
+		}
+	}
+}

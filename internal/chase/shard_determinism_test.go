@@ -1,0 +1,185 @@
+package chase
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/gen/graphs"
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+func runSharded(t *testing.T, src string, facts []ast.Fact, workers, shards int) *Result {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := Run(context.Background(), prog, facts, Options{Parallelism: workers, Shards: shards})
+	if err != nil {
+		t.Fatalf("run (workers=%d shards=%d): %v", workers, shards, err)
+	}
+	return res
+}
+
+// TestShardMatrixByteDeterminism is the acceptance property of
+// partitioned admission: for every scenario, every worker count × shard
+// count combination produces a final database byte-identical to the
+// serial unsharded run — same facts, same admission order, same null
+// identities, same derivation count.
+func TestShardMatrixByteDeterminism(t *testing.T) {
+	for _, sc := range parallelScenarios(t) {
+		t.Run(sc.name, func(t *testing.T) {
+			base := dbBytes(runSharded(t, sc.src, sc.facts, 1, 1))
+			if len(base) < 40 {
+				t.Fatalf("vacuous database: %q", base)
+			}
+			for _, workers := range []int{1, 2, 4, 8} {
+				for _, shards := range []int{1, 2, 8} {
+					if workers == 1 && shards == 1 {
+						continue
+					}
+					got := dbBytes(runSharded(t, sc.src, sc.facts, workers, shards))
+					if got != base {
+						t.Errorf("workers=%d shards=%d diverges from serial unsharded (%d vs %d bytes)",
+							workers, shards, len(got), len(base))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardCancelResumeDeterminism: a run cancelled mid-batch and resumed
+// must converge to the same bytes regardless of the shard count — the
+// requeue boundary and the partitioned merge may not interact. The
+// cancellation point is deterministic (stepCtx counts Err polls and the
+// pre-pass never polls), so runs differing only in shard count cancel at
+// the same place.
+func TestShardCancelResumeDeterminism(t *testing.T) {
+	ownership := graphs.ScaleFree(100, graphs.PaperParams(), 5)
+	prog := parser.MustParse(graphs.ControlProgram)
+	clean := runSharded(t, graphs.ControlProgram, ownership.OwnFacts(), 4, 1)
+	want := sortedGround(clean, "control")
+	if want == "" {
+		t.Fatal("vacuous scenario")
+	}
+	for _, after := range []int64{1, 3, 25} {
+		var base string
+		for _, shards := range []int{1, 2, 8} {
+			c, err := Compile(prog, Options{Parallelism: 4, Shards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := c.NewEngine()
+			_, err = e.Run(&stepCtx{Context: context.Background(), after: after}, ownership.OwnFacts())
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("after=%d shards=%d: want cancellation, got %v", after, shards, err)
+			}
+			res, err := e.Run(context.Background(), nil)
+			if err != nil {
+				t.Fatalf("after=%d shards=%d: resume: %v", after, shards, err)
+			}
+			if got := sortedGround(res, "control"); got != want {
+				t.Errorf("after=%d shards=%d: resumed run lost derivations", after, shards)
+			}
+			bytes := dbBytes(res)
+			if base == "" {
+				base = bytes
+			} else if bytes != base {
+				t.Errorf("after=%d shards=%d: resumed database diverges across shard counts (%d vs %d bytes)",
+					after, shards, len(bytes), len(base))
+			}
+		}
+	}
+}
+
+// TestShardOptionsResolution: the shard count rounds to a power of two,
+// defaults off explicit zero to the worker heuristic, and reaches the
+// database's relations.
+func TestShardOptionsResolution(t *testing.T) {
+	prog := parser.MustParse(`p(X) -> q(X). @output("q").`)
+	for _, tc := range []struct{ opt, want int }{
+		{1, 1}, {2, 2}, {5, 8}, {8, 8}, {300, 256},
+	} {
+		c, err := Compile(prog, Options{Shards: tc.opt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := c.NewEngine()
+		if e.Shards() != tc.want {
+			t.Errorf("Shards=%d: resolved %d, want %d", tc.opt, e.Shards(), tc.want)
+		}
+		if e.DB().Shards() != tc.want {
+			t.Errorf("Shards=%d: database has %d, want %d", tc.opt, e.DB().Shards(), tc.want)
+		}
+	}
+	c, err := Compile(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.NewEngine().Shards(); got < 1 || got > 8 {
+		t.Errorf("default shards %d outside [1, 8]", got)
+	}
+}
+
+// TestShardPhaseStats: the engine accounts wall time to the match and
+// admit phases, and per-shard meter counters cover the admitted facts of
+// prepared rules when the pre-pass fans out.
+func TestShardPhaseStats(t *testing.T) {
+	ownership := graphs.ScaleFree(1200, graphs.PaperParams(), 2)
+	prog := parser.MustParse(graphs.ControlProgram)
+	c, err := Compile(prog, Options{Parallelism: 2, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := c.NewEngine()
+	if _, err := e.Run(context.Background(), ownership.OwnFacts()); err != nil {
+		t.Fatal(err)
+	}
+	match, _, admit := e.PhaseStats()
+	if match <= 0 || admit <= 0 {
+		t.Errorf("phase stats not accumulated: match=%v admit=%v", match, admit)
+	}
+	scans, _, admits := e.Meter().ShardStats()
+	var totScan, totAdmit int64
+	for s := range scans {
+		totScan += scans[s]
+		totAdmit += admits[s]
+	}
+	if totScan <= 0 {
+		t.Error("pre-pass never fanned out (no shard scans recorded)")
+	}
+	if totAdmit <= 0 {
+		t.Error("no sharded admissions recorded")
+	}
+	if totAdmit > int64(e.Derivations()) {
+		t.Errorf("sharded admissions %d exceed derivations %d", totAdmit, e.Derivations())
+	}
+}
+
+// TestShardDeterminismEGDDisabled: a program with an EGD disables head
+// preparation program-wide (EGD unification mutates the null substitution
+// during admission); reasoning must stay byte-identical across shard
+// counts anyway, via the classic path.
+func TestShardDeterminismEGDDisabled(t *testing.T) {
+	src := `
+		person(X) -> hasID(X, I).
+		hasID(X, I1), hasID(X, I2) -> I1 = I2.
+		hasID(X, I) -> idOf(X, I).
+		@output("idOf").
+	`
+	var facts []ast.Fact
+	for i := 0; i < 40; i++ {
+		facts = append(facts, ast.NewFact("person", term.String(fmt.Sprintf("p%02d", i))))
+	}
+	base := dbBytes(runSharded(t, src, facts, 1, 1))
+	for _, shards := range []int{2, 8} {
+		if got := dbBytes(runSharded(t, src, facts, 4, shards)); got != base {
+			t.Errorf("shards=%d diverges on EGD program", shards)
+		}
+	}
+}

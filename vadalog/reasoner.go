@@ -83,6 +83,8 @@ func Compile(prog *Program, opts *Options) (*Reasoner, error) {
 			DisableSummary:      disableSummary,
 			DisableDynamicIndex: o.DisableDynamicIndex,
 			DisablePlanner:      o.DisablePlanner,
+			Shards:              o.Shards,
+			PhaseTiming:         o.PhaseTiming,
 		})
 		if err != nil {
 			return nil, err
@@ -98,6 +100,7 @@ func Compile(prog *Program, opts *Options) (*Reasoner, error) {
 			DisableDynamicIndex: o.DisableDynamicIndex,
 			DisablePlanner:      o.DisablePlanner,
 			Parallelism:         o.Parallelism,
+			Shards:              o.Shards,
 		})
 		if err != nil {
 			return nil, err
